@@ -1,0 +1,168 @@
+//! Server energy efficiency: UIPS per watt (Fig. 3 of the paper).
+//!
+//! Efficiency couples the simulator to the power model: the simulator
+//! yields UIPS, WFM share and DRAM traffic at each DVFS level; the power
+//! model prices that activity. The paper reports the optimum around
+//! 1.2 GHz for high-mem and 1.5 GHz for low/mid-mem — well below Fmax,
+//! and the reason pure consolidation at Fmax wastes energy on NTC
+//! hardware.
+
+use ntc_power::{ServerLoad, ServerPowerModel};
+use ntc_units::{Frequency, Percent, Power};
+
+use crate::{Kernel, ServerSim, SimOutcome};
+
+/// Converts a simulation outcome into the power model's activity vector.
+///
+/// All cores are busy for the whole run (one VM per core, worst case), so
+/// CPU activity is split between useful/LLC-stall cycles (active) and
+/// DRAM stalls (WFM); DRAM bank activity follows queue utilization.
+pub fn outcome_to_load(outcome: &SimOutcome) -> ServerLoad {
+    let wfm = Percent::from_fraction(outcome.wfm_fraction.clamp(0.0, 1.0));
+    let active = Percent::from_fraction((1.0 - outcome.wfm_fraction).clamp(0.0, 1.0));
+    ServerLoad {
+        cpu_active: active,
+        cpu_wfm: wfm,
+        mem_active: Percent::from_fraction(outcome.dram_utilization.clamp(0.0, 1.0)),
+        read_bytes_per_sec: outcome.dram_read_bytes_per_sec,
+        llc_reads_per_sec: outcome.llc_accesses_per_sec * 0.7,
+        llc_writes_per_sec: outcome.llc_accesses_per_sec * 0.3,
+    }
+}
+
+/// Server power while running `outcome`'s activity at frequency `f`.
+pub fn server_power(model: &ServerPowerModel, f: Frequency, outcome: &SimOutcome) -> Power {
+    model.power_at(f, &outcome_to_load(outcome))
+}
+
+/// Efficiency in BUIPS/W (billions of user instructions per second per
+/// watt) — Fig. 3's y-axis.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_archsim::{efficiency, Kernel, Platform, ServerSim};
+/// use ntc_power::ServerPowerModel;
+/// use ntc_units::Frequency;
+///
+/// let sim = ServerSim::new(Platform::ntc_server());
+/// let model = ServerPowerModel::ntc();
+/// let e = efficiency::buips_per_watt(&sim, &model, &Kernel::low_mem(), Frequency::from_ghz(1.5));
+/// assert!(e > 0.0);
+/// ```
+pub fn buips_per_watt(
+    sim: &ServerSim,
+    model: &ServerPowerModel,
+    kernel: &Kernel,
+    f: Frequency,
+) -> f64 {
+    let outcome = sim.run(kernel, f);
+    let p = server_power(model, f, &outcome);
+    outcome.buips() / p.as_watts()
+}
+
+/// Sweeps DVFS levels and returns `(f, BUIPS/W)` pairs — one Fig. 3
+/// series.
+pub fn efficiency_curve(
+    sim: &ServerSim,
+    model: &ServerPowerModel,
+    kernel: &Kernel,
+    freqs: &[Frequency],
+) -> Vec<(Frequency, f64)> {
+    freqs
+        .iter()
+        .map(|&f| (f, buips_per_watt(sim, model, kernel, f)))
+        .collect()
+}
+
+/// The frequency maximizing BUIPS/W over `freqs` (the per-workload
+/// energy-efficiency sweet spot of §VI-B2).
+///
+/// # Panics
+///
+/// Panics if `freqs` is empty.
+pub fn optimal_efficiency_frequency(
+    sim: &ServerSim,
+    model: &ServerPowerModel,
+    kernel: &Kernel,
+    freqs: &[Frequency],
+) -> (Frequency, f64) {
+    assert!(!freqs.is_empty(), "need at least one frequency");
+    efficiency_curve(sim, model, kernel, freqs)
+        .into_iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("efficiencies are finite"))
+        .expect("non-empty sweep")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    fn sweep() -> Vec<Frequency> {
+        [0.1, 0.2, 0.5, 0.8, 1.0, 1.2, 1.5, 1.7, 1.9, 2.1, 2.4, 2.5]
+            .iter()
+            .map(|&g| Frequency::from_ghz(g))
+            .collect()
+    }
+
+    #[test]
+    fn efficiency_peak_is_interior() {
+        // Fig 3: the optimum lies strictly between the extremes —
+        // neither deep near-threshold nor Fmax.
+        let sim = ServerSim::new(Platform::ntc_server());
+        let model = ServerPowerModel::ntc();
+        for k in Kernel::paper_classes() {
+            let (f_opt, e_opt) = optimal_efficiency_frequency(&sim, &model, &k, &sweep());
+            assert!(
+                f_opt.as_ghz() > 0.2 && f_opt.as_ghz() < 2.5,
+                "{}: peak at boundary {f_opt}",
+                k.name()
+            );
+            assert!(e_opt > 0.0);
+            assert!(
+                (0.8..=2.2).contains(&f_opt.as_ghz()),
+                "{}: paper reports 1.2-1.5 GHz optimum, got {f_opt}",
+                k.name()
+            );
+        }
+    }
+
+    #[test]
+    fn high_mem_peak_not_above_low_mem_peak() {
+        // Fig 3: high-mem peaks at ~1.2 GHz, low/mid at ~1.5 GHz.
+        let sim = ServerSim::new(Platform::ntc_server());
+        let model = ServerPowerModel::ntc();
+        let (f_low, _) = optimal_efficiency_frequency(&sim, &model, &Kernel::low_mem(), &sweep());
+        let (f_high, _) =
+            optimal_efficiency_frequency(&sim, &model, &Kernel::high_mem(), &sweep());
+        assert!(
+            f_high <= f_low,
+            "high-mem optimum ({f_high}) must not exceed low-mem optimum ({f_low})"
+        );
+    }
+
+    #[test]
+    fn efficiency_decreases_with_memory_intensity() {
+        // Fig 3: more memory -> more active-DRAM power and more WFM
+        // stalls -> lower peak efficiency.
+        let sim = ServerSim::new(Platform::ntc_server());
+        let model = ServerPowerModel::ntc();
+        let f = Frequency::from_ghz(1.5);
+        let e_low = buips_per_watt(&sim, &model, &Kernel::low_mem(), f);
+        let e_high = buips_per_watt(&sim, &model, &Kernel::high_mem(), f);
+        assert!(
+            e_low > e_high,
+            "low-mem must be more efficient: {e_low:.3} vs {e_high:.3}"
+        );
+    }
+
+    #[test]
+    fn load_fractions_are_valid() {
+        let sim = ServerSim::new(Platform::ntc_server());
+        let out = sim.run(&Kernel::high_mem(), Frequency::from_ghz(1.0));
+        let load = outcome_to_load(&out);
+        assert!(load.cpu_active.value() + load.cpu_wfm.value() <= 100.0 + 1e-9);
+        assert!(load.mem_active.value() <= 100.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the architecture simulator.
+
+use ntc_archsim::cache::{Cache, CacheConfig, Hierarchy};
+use ntc_archsim::ddr::{DdrController, DdrTiming};
+use ntc_archsim::{Kernel, Platform, ServerSim};
+use ntc_units::{Frequency, MemBytes};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        1_000_000u64..5_000_000_000,
+        0.0f64..100.0,
+        0.0f64..40.0,
+        16u64..1024,
+        0.0f64..0.9,
+    )
+        .prop_map(|(instr, apki, dpki, ws_mib, wf)| {
+            Kernel::new("prop", instr, apki, dpki, MemBytes::from_mib(ws_mib), wf)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exec_time_positive_and_uips_consistent(k in arb_kernel(), ghz in 0.1f64..3.1) {
+        let sim = ServerSim::new(Platform::ntc_server());
+        let out = sim.run(&k, Frequency::from_ghz(ghz));
+        prop_assert!(out.exec_time.as_secs() > 0.0);
+        let expected_uips =
+            16.0 * out.instructions_per_core as f64 / out.exec_time.as_secs();
+        prop_assert!((out.uips - expected_uips).abs() / expected_uips < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&out.wfm_fraction));
+        prop_assert!((0.0..=1.0).contains(&out.dram_utilization));
+    }
+
+    #[test]
+    fn frequency_never_hurts(k in arb_kernel(), g1 in 0.1f64..3.1, g2 in 0.1f64..3.1) {
+        let sim = ServerSim::new(Platform::ntc_server());
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let t_lo = sim.run(&k, Frequency::from_ghz(lo)).exec_time;
+        let t_hi = sim.run(&k, Frequency::from_ghz(hi)).exec_time;
+        prop_assert!(t_hi.as_secs() <= t_lo.as_secs() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn more_dram_traffic_never_speeds_up(
+        instr in 100_000_000u64..1_000_000_000,
+        apki in 1.0f64..80.0,
+        d1 in 0.1f64..30.0,
+        d2 in 0.1f64..30.0,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let ws = MemBytes::from_mib(256);
+        let k_lo = Kernel::new("lo", instr, apki, lo, ws, 0.3);
+        let k_hi = Kernel::new("hi", instr, apki, hi, ws, 0.3);
+        let sim = ServerSim::new(Platform::ntc_server());
+        let f = Frequency::from_ghz(2.0);
+        prop_assert!(
+            sim.run(&k_hi, f).exec_time.as_secs()
+                >= sim.run(&k_lo, f).exec_time.as_secs() - 1e-12
+        );
+    }
+
+    #[test]
+    fn cache_stats_are_consistent(addrs in prop::collection::vec(0u64..1_000_000, 1..500)) {
+        let mut c = Cache::new(CacheConfig::ntc_l1d());
+        for &a in &addrs {
+            c.access(a, a % 3 == 0);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!(s.miss_ratio() >= 0.0 && s.miss_ratio() <= 1.0);
+        prop_assert!(s.writebacks <= s.misses);
+    }
+
+    #[test]
+    fn repeated_address_always_hits_after_first(addr in 0u64..1_000_000_000) {
+        let mut c = Cache::new(CacheConfig::ntc_l1d());
+        c.access(addr, false);
+        for _ in 0..10 {
+            prop_assert!(c.access(addr, false));
+        }
+    }
+
+    #[test]
+    fn hierarchy_filter_property(addrs in prop::collection::vec(0u64..10_000_000, 10..300)) {
+        // Lower levels can never see more accesses than the level above
+        // missed.
+        let mut h = Hierarchy::ntc_per_core();
+        for &a in &addrs {
+            h.access(a, false);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l1d.accesses(), addrs.len() as u64);
+        prop_assert!(s.l2.accesses() <= s.l1d.misses);
+        prop_assert!(s.llc.accesses() <= s.l2.misses);
+    }
+
+    #[test]
+    fn ddr_bandwidth_never_exceeds_peak(
+        addrs in prop::collection::vec(0u64..(1u64 << 30), 64..512),
+    ) {
+        let timing = DdrTiming::ddr4_2400();
+        let mut ctrl = DdrController::new(timing, 16);
+        for &a in &addrs {
+            ctrl.access(a, 0.0);
+        }
+        let s = ctrl.stats();
+        prop_assert_eq!(s.requests(), addrs.len() as u64);
+        prop_assert!(s.bandwidth() <= timing.peak_bandwidth() * 1.001);
+        prop_assert!(s.mean_latency_ns() >= timing.hit_ns() - 1e-9);
+    }
+
+    #[test]
+    fn ddr_completion_is_monotone_per_bank(
+        offsets in prop::collection::vec(0u64..64u64, 16..64),
+    ) {
+        // Requests to one bank must complete in issue order.
+        let mut ctrl = DdrController::new(DdrTiming::ddr4_2400(), 16);
+        let mut last = 0.0;
+        for (i, &o) in offsets.iter().enumerate() {
+            let done = ctrl.access(o * 64, i as f64);
+            prop_assert!(done >= last);
+            last = done;
+        }
+    }
+}

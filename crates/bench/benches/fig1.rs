@@ -1,0 +1,48 @@
+//! Fig. 1: worst-case data-center power vs frequency for (a) the
+//! NTC-based and (b) the conventional (E5-2620) data center, across
+//! utilization rates — the "consolidating or not?" motivation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::freq_header;
+use ntc_datacenter::experiments;
+use ntc_power::{DataCenterPowerModel, ServerPowerModel};
+use ntc_units::Percent;
+use std::hint::black_box;
+
+fn print_panel(title: &str, server: ServerPowerModel) {
+    let curves = experiments::fig1(server.clone(), 80);
+    let freqs = server.dvfs_levels();
+    println!("\n=== Fig. 1{title} (80 servers, worst-case CPU-bound) ===");
+    println!("{:>6} {}", "util%", freq_header(&freqs));
+    for c in &curves {
+        let cells: Vec<String> = c
+            .points
+            .iter()
+            .map(|(_, p)| match p {
+                Some(p) => format!("{:>8.2}", p.as_kilowatts()),
+                None => format!("{:>8}", "-"),
+            })
+            .collect();
+        println!("{:>6.0} {}", c.utilization, cells.join(" "));
+    }
+    let dc = DataCenterPowerModel::new(server, 80);
+    let (fopt, _) = dc.optimal_frequency(Percent::new(10.0));
+    println!("optimal frequency at low utilization: {fopt}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_panel("(a) NTC", ServerPowerModel::ntc());
+    print_panel("(b) conventional E5-2620", ServerPowerModel::conventional_e5_2620());
+    c.bench_function("fig1/regenerate_both_panels", |b| {
+        b.iter(|| {
+            black_box(experiments::fig1(ServerPowerModel::ntc(), 80));
+            black_box(experiments::fig1(
+                ServerPowerModel::conventional_e5_2620(),
+                80,
+            ));
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 2: execution time normalized to the QoS limit across core
+//! frequencies for the three workload classes on the NTC server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::freq_header;
+use ntc_datacenter::experiments;
+use std::hint::black_box;
+
+fn print_fig2() {
+    let series = experiments::fig2();
+    let freqs = experiments::fig2_frequencies();
+    println!("\n=== Fig. 2: normalized execution time (<= 1.0 meets QoS) ===");
+    println!("{:<10} {}", "workload", freq_header(&freqs));
+    for s in &series {
+        let cells: Vec<String> = s
+            .points
+            .iter()
+            .map(|(_, v)| format!("{v:>8.2}"))
+            .collect();
+        println!("{:<10} {}", s.workload, cells.join(" "));
+    }
+    for s in &series {
+        let min_ok = s.points.iter().find(|&&(_, v)| v <= 1.0).map(|&(f, _)| f);
+        match min_ok {
+            Some(f) => println!("{}: meets QoS from {f}", s.workload),
+            None => println!("{}: never meets QoS on this grid", s.workload),
+        }
+    }
+    println!("(paper: low-mem down to 1.2 GHz, mid/high-mem down to 1.8 GHz)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig2();
+    c.bench_function("fig2/regenerate", |b| {
+        b.iter(|| black_box(experiments::fig2()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

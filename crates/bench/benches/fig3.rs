@@ -1,0 +1,42 @@
+//! Fig. 3: server efficiency (BUIPS/W) across core frequencies for the
+//! three workload classes on the NTC server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::freq_header;
+use ntc_datacenter::experiments;
+use std::hint::black_box;
+
+fn print_fig3() {
+    let series = experiments::fig3();
+    let freqs = experiments::fig2_frequencies();
+    println!("\n=== Fig. 3: efficiency in BUIPS/Watt ===");
+    println!("{:<10} {}", "workload", freq_header(&freqs));
+    for s in &series {
+        let cells: Vec<String> = s
+            .points
+            .iter()
+            .map(|(_, v)| format!("{v:>8.3}"))
+            .collect();
+        println!("{:<10} {}", s.workload, cells.join(" "));
+    }
+    for s in &series {
+        let (f, e) = s
+            .points
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .expect("non-empty");
+        println!("{}: peak {e:.3} BUIPS/W at {f}", s.workload);
+    }
+    println!("(paper: peak ~1.2 GHz for high-mem, ~1.5 GHz for low/mid-mem)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig3();
+    c.bench_function("fig3/regenerate", |b| {
+        b.iter(|| black_box(experiments::fig3()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figs. 4, 5 and 6: the week-long data-center comparison of EPACT,
+//! COAT and COAT-OPT — SLA violations, active servers and total energy
+//! per hourly slot, with ARIMA day-ahead predictions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::{bench_fleet, print_week_summary};
+use ntc_core::{Coat, Epact};
+use ntc_datacenter::{experiments, WeekSim};
+use ntc_power::ServerPowerModel;
+use std::hint::black_box;
+
+fn print_figs() {
+    let fleet = bench_fleet();
+    let outcomes = experiments::fig4_5_6(&fleet, 600);
+    print_week_summary(&outcomes);
+
+    println!("\nper-slot series (first 24 slots):");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "slot", "viol-EP", "viol-CO", "srv-EP", "srv-CO", "MJ-EP", "MJ-CO"
+    );
+    let ep = &outcomes[0];
+    let co = &outcomes[1];
+    for t in 0..24 {
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10} {:>10.2} {:>10.2}",
+            t,
+            ep.slots[t].violations,
+            co.slots[t].violations,
+            ep.slots[t].active_servers,
+            co.slots[t].active_servers,
+            ep.slots[t].energy.as_megajoules(),
+            co.slots[t].energy.as_megajoules()
+        );
+    }
+    println!("(paper: EPACT saves up to 45% vs COAT and ~10% vs COAT-OPT; COAT uses ~37% fewer servers; EPACT violations near zero)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_figs();
+    // Time a single-slot allocate+replay cycle (the recurring runtime
+    // cost of each policy in production).
+    let fleet = bench_fleet();
+    let server = ServerPowerModel::ntc();
+    let sim = WeekSim::new(&fleet, server, 600);
+    let mut g = c.benchmark_group("fig4_5_6");
+    g.sample_size(10);
+    g.bench_function("oracle_week/EPACT", |b| {
+        b.iter(|| black_box(sim.run_with_oracle(&Epact::new())))
+    });
+    g.bench_function("oracle_week/COAT", |b| {
+        b.iter(|| black_box(sim.run_with_oracle(&Coat::new())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

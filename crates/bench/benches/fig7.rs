@@ -1,0 +1,42 @@
+//! Fig. 7: EPACT-vs-COAT power saving as per-server static power sweeps
+//! from an efficient 5 W to a power-hungry 45 W.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::bench_fleet;
+use ntc_datacenter::experiments;
+use std::hint::black_box;
+
+fn print_fig7() {
+    let fleet = bench_fleet();
+    let sweep = [5.0, 15.0, 25.0, 35.0, 45.0];
+    let pts = experiments::fig7(&fleet, 600, &sweep);
+    println!("\n=== Fig. 7: saving vs static power ===");
+    println!(
+        "{:<12} {:>16} {:>16} {:>12}",
+        "static (W)", "EPACT (MJ)", "COAT (MJ)", "saving (%)"
+    );
+    for p in &pts {
+        println!(
+            "{:<12.0} {:>16.1} {:>16.1} {:>12.1}",
+            p.static_power.as_watts(),
+            p.epact_energy.as_megajoules(),
+            p.coat_energy.as_megajoules(),
+            p.saving_pct
+        );
+    }
+    println!("(paper: saving shrinks as static power grows — EPACT favours low-static-power technologies)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_fig7();
+    let fleet = bench_fleet();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("two_point_sweep", |b| {
+        b.iter(|| black_box(experiments::fig7(&fleet, 600, &[5.0, 45.0])))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

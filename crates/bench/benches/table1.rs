@@ -1,0 +1,32 @@
+//! Table I: execution times of the three workload classes on the Intel
+//! x86 baseline, the Cavium ThunderX and the proposed NTC server, plus
+//! the 2x QoS limit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_datacenter::experiments;
+use std::hint::black_box;
+
+fn print_table1() {
+    println!("\n=== Table I: NTC server and Cavium ThunderX QoS analysis ===");
+    println!(
+        "{:<10} {:>14} {:>16} {:>14} {:>14}",
+        "workload", "x86@2.66 (s)", "QoS limit (s)", "Cavium@2 (s)", "NTC@2 (s)"
+    );
+    for r in experiments::table1() {
+        println!(
+            "{:<10} {:>14.3} {:>16.3} {:>14.3} {:>14.3}",
+            r.workload, r.x86_secs, r.qos_limit_secs, r.cavium_secs, r.ntc_secs
+        );
+    }
+    println!("(paper: 0.437/1.564/3.455 | 0.873/3.127/6.909 | 0.733/5.035/11.943 | 0.582/2.926/6.765)");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    c.bench_function("table1/regenerate", |b| {
+        b.iter(|| black_box(experiments::table1()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

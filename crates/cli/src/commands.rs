@@ -1,0 +1,205 @@
+//! Subcommand implementations for the `ntc-dc` binary.
+
+use ntc_datacenter::{experiments, export};
+use ntc_power::ServerPowerModel;
+use ntc_units::Percent;
+use ntc_workload::{ClusterTraceGenerator, FleetStats};
+
+/// Parses `--name value` style options from `args`.
+fn opt_usize(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("{name} requires a value"))?
+            .parse()
+            .map_err(|e| format!("{name}: {e}")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// `ntc-dc table1`
+pub fn table1() -> Result<(), String> {
+    println!(
+        "{:<10} {:>13} {:>15} {:>13} {:>13}",
+        "workload", "x86@2.66 (s)", "QoS limit (s)", "Cavium@2 (s)", "NTC@2 (s)"
+    );
+    for r in experiments::table1() {
+        println!(
+            "{:<10} {:>13.3} {:>15.3} {:>13.3} {:>13.3}",
+            r.workload, r.x86_secs, r.qos_limit_secs, r.cavium_secs, r.ntc_secs
+        );
+    }
+    Ok(())
+}
+
+/// `ntc-dc fig1 [--servers N]`
+pub fn fig1(args: &[String]) -> Result<(), String> {
+    let servers = opt_usize(args, "--servers", 80)?;
+    for (label, model) in [
+        ("(a) NTC", ServerPowerModel::ntc()),
+        ("(b) E5-2620", ServerPowerModel::conventional_e5_2620()),
+    ] {
+        println!("== Fig. 1{label}, {servers} servers ==");
+        let curves = experiments::fig1(model, servers);
+        if flag(args, "--csv") {
+            print!("{}", export::fig1_csv(&curves));
+        } else {
+            for c in &curves {
+                let cells: Vec<String> = c
+                    .points
+                    .iter()
+                    .map(|(f, p)| match p {
+                        Some(p) => format!("{:.1}G:{:.2}kW", f.as_ghz(), p.as_kilowatts()),
+                        None => format!("{:.1}G:-", f.as_ghz()),
+                    })
+                    .collect();
+                println!("util {:>3.0}%  {}", c.utilization, cells.join("  "));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `ntc-dc fig2`
+pub fn fig2() -> Result<(), String> {
+    print!("{}", export::fig2_csv(&experiments::fig2()));
+    Ok(())
+}
+
+/// `ntc-dc fig3`
+pub fn fig3() -> Result<(), String> {
+    print!("{}", export::fig3_csv(&experiments::fig3()));
+    Ok(())
+}
+
+/// `ntc-dc week [--vms N] [--csv]`
+pub fn week(args: &[String]) -> Result<(), String> {
+    let vms = opt_usize(args, "--vms", 120)?;
+    let fleet = ClusterTraceGenerator::google_like(vms, 2018).generate();
+    let outcomes = experiments::fig4_5_6(&fleet, 600);
+    if flag(args, "--csv") {
+        print!("{}", export::week_csv(&outcomes));
+        return Ok(());
+    }
+    println!(
+        "{:<10} {:>11} {:>11} {:>14} {:>14}",
+        "policy", "violations", "migrations", "mean servers", "energy (MJ)"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<10} {:>11} {:>11} {:>14.1} {:>14.1}",
+            o.policy,
+            o.total_violations(),
+            o.total_migrations(),
+            o.mean_active_servers(),
+            o.total_energy().as_megajoules()
+        );
+    }
+    let epact = &outcomes[0];
+    for other in &outcomes[1..] {
+        println!(
+            "EPACT saving vs {}: {:.1}%",
+            other.policy,
+            epact.energy_saving_vs(other) * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `ntc-dc fig7 [--vms N] [--csv]`
+pub fn fig7(args: &[String]) -> Result<(), String> {
+    let vms = opt_usize(args, "--vms", 120)?;
+    let fleet = ClusterTraceGenerator::google_like(vms, 7).generate();
+    let pts = experiments::fig7(&fleet, 600, &[5.0, 15.0, 25.0, 35.0, 45.0]);
+    if flag(args, "--csv") {
+        print!("{}", export::fig7_csv(&pts));
+        return Ok(());
+    }
+    println!(
+        "{:<11} {:>13} {:>13} {:>11}",
+        "static (W)", "EPACT (MJ)", "COAT (MJ)", "saving (%)"
+    );
+    for p in &pts {
+        println!(
+            "{:<11.0} {:>13.1} {:>13.1} {:>11.1}",
+            p.static_power.as_watts(),
+            p.epact_energy.as_megajoules(),
+            p.coat_energy.as_megajoules(),
+            p.saving_pct
+        );
+    }
+    Ok(())
+}
+
+/// `ntc-dc validate`
+pub fn validate() -> Result<(), String> {
+    println!("{}", ntc_power::validation::report());
+    println!(
+        "600-server DC peak at Fmax: {}",
+        ntc_power::validation::full_dc_peak()
+    );
+    let dc = ntc_power::DataCenterPowerModel::new(ServerPowerModel::ntc(), 80);
+    let (f, p) = dc.optimal_frequency(Percent::new(20.0));
+    println!("optimal frequency at 20% utilization: {f} ({p})");
+    Ok(())
+}
+
+/// `ntc-dc fleet-stats [--vms N]`
+pub fn fleet_stats(args: &[String]) -> Result<(), String> {
+    let vms = opt_usize(args, "--vms", 600)?;
+    let fleet = ClusterTraceGenerator::google_like(vms, 2018).generate();
+    let s = FleetStats::compute(&fleet);
+    println!("VMs:                     {}", s.num_vms);
+    println!("horizon (samples):       {}", s.horizon);
+    println!("mean CPU (% of server):  {:.2}", s.mean_cpu);
+    println!("peak aggregate CPU (%):  {:.1}", s.peak_aggregate_cpu);
+    println!("mean mem (% of server):  {:.2}", s.mean_mem);
+    println!("peak aggregate mem (%):  {:.1}", s.peak_aggregate_mem);
+    println!(
+        "classes (low/mid/high):  {}/{}/{}",
+        s.class_counts[0], s.class_counts[1], s.class_counts[2]
+    );
+    println!(
+        "mean pairwise CPU corr:  {:.3}",
+        s.mean_pairwise_correlation
+    );
+    println!(
+        "DC utilization on 600 servers: {:.1}%",
+        s.dc_utilization_pct(600)
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn opt_parsing() {
+        assert_eq!(opt_usize(&s(&["--vms", "42"]), "--vms", 7).unwrap(), 42);
+        assert_eq!(opt_usize(&s(&[]), "--vms", 7).unwrap(), 7);
+        assert!(opt_usize(&s(&["--vms"]), "--vms", 7).is_err());
+        assert!(opt_usize(&s(&["--vms", "x"]), "--vms", 7).is_err());
+    }
+
+    #[test]
+    fn flags() {
+        assert!(flag(&s(&["--csv"]), "--csv"));
+        assert!(!flag(&s(&["--vms", "3"]), "--csv"));
+    }
+
+    #[test]
+    fn cheap_commands_succeed() {
+        assert!(table1().is_ok());
+        assert!(validate().is_ok());
+        assert!(fig2().is_ok());
+    }
+}

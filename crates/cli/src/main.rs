@@ -1,0 +1,63 @@
+//! `ntcdc` — regenerate any experiment of the paper from the command
+//! line.
+//!
+//! ```text
+//! ntcdc table1                      Table I
+//! ntcdc fig1 [--servers N]          Fig. 1(a)+(b)
+//! ntcdc fig2                        Fig. 2
+//! ntcdc fig3                        Fig. 3
+//! ntcdc week [--vms N] [--csv]      Figs. 4-6
+//! ntcdc fig7 [--vms N] [--csv]      Fig. 7
+//! ntcdc validate                    power-model constants vs the paper
+//! ntcdc fleet-stats [--vms N]       generated-workload statistics
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "table1" => commands::table1(),
+        "fig1" => commands::fig1(rest),
+        "fig2" => commands::fig2(),
+        "fig3" => commands::fig3(),
+        "week" => commands::week(rest),
+        "fig7" => commands::fig7(rest),
+        "validate" => commands::validate(),
+        "fleet-stats" => commands::fleet_stats(rest),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "ntcdc — reproduce 'Energy Proportionality in NTC Servers and Cloud Data \
+     Centers: Consolidating or Not?' (DATE 2018)\n\
+     \n\
+     commands:\n\
+     \x20 table1                     Table I: cross-platform execution times\n\
+     \x20 fig1   [--servers N]       Fig. 1: worst-case DC power surfaces\n\
+     \x20 fig2                       Fig. 2: QoS-normalized execution time\n\
+     \x20 fig3                       Fig. 3: efficiency (BUIPS/W)\n\
+     \x20 week   [--vms N] [--csv]   Figs. 4-6: EPACT vs COAT vs COAT-OPT\n\
+     \x20 fig7   [--vms N] [--csv]   Fig. 7: static-power sweep\n\
+     \x20 validate                   power-model constants vs the paper\n\
+     \x20 fleet-stats [--vms N]      generated-workload statistics"
+}

@@ -1,0 +1,89 @@
+//! End-to-end tests of the `ntcdc` binary.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ntcdc"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let (ok, _, err) = run(&[]);
+    assert!(!ok);
+    assert!(err.contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _, err) = run(&["fig99"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let (ok, out, _) = run(&["--help"]);
+    assert!(ok);
+    assert!(out.contains("Consolidating or Not"));
+}
+
+#[test]
+fn table1_prints_all_classes() {
+    let (ok, out, _) = run(&["table1"]);
+    assert!(ok);
+    for class in ["low-mem", "mid-mem", "high-mem"] {
+        assert!(out.contains(class), "missing {class}:\n{out}");
+    }
+}
+
+#[test]
+fn validate_reports_zero_deviation() {
+    let (ok, out, _) = run(&["validate"]);
+    assert!(ok);
+    assert!(out.contains("F_NTC_opt off by 0 MHz"), "{out}");
+}
+
+#[test]
+fn fig2_emits_csv() {
+    let (ok, out, _) = run(&["fig2"]);
+    assert!(ok);
+    assert!(out.starts_with("workload,freq_mhz,normalized_time"));
+    assert!(out.lines().count() > 20);
+}
+
+#[test]
+fn week_small_fleet_runs() {
+    let (ok, out, _) = run(&["week", "--vms", "24"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("EPACT"));
+    assert!(out.contains("saving vs COAT"));
+}
+
+#[test]
+fn week_csv_mode() {
+    let (ok, out, _) = run(&["week", "--vms", "24", "--csv"]);
+    assert!(ok);
+    assert!(out.starts_with("slot,epact_violations"));
+}
+
+#[test]
+fn bad_option_value_fails_cleanly() {
+    let (ok, _, err) = run(&["week", "--vms", "banana"]);
+    assert!(!ok);
+    assert!(err.contains("--vms"));
+}
+
+#[test]
+fn fleet_stats_prints_classes() {
+    let (ok, out, _) = run(&["fleet-stats", "--vms", "30"]);
+    assert!(ok);
+    assert!(out.contains("classes (low/mid/high):  10/10/10"), "{out}");
+}

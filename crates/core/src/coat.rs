@@ -1,0 +1,251 @@
+use ntc_power::DataCenterPowerModel;
+use ntc_trace::TimeSeries;
+use ntc_units::{Frequency, Percent};
+use serde::{Deserialize, Serialize};
+
+use crate::{AllocationPolicy, SlotContext, SlotPlan};
+
+/// Correlation-aware consolidation packing shared by [`Coat`] and
+/// [`CoatOpt`]: first-fit-decreasing into as few servers as possible,
+/// preferring the feasible server whose complementary pattern best
+/// matches the VM (the CPU-load-correlation awareness of Kim et al.,
+/// DATE'13) and checking both the CPU and memory caps per sample.
+fn consolidate(
+    cpu: &[TimeSeries],
+    mem: &[TimeSeries],
+    cap_cpu: f64,
+    cap_mem: f64,
+) -> Vec<usize> {
+    let slot_len = cpu[0].len();
+    let mut order: Vec<usize> = (0..cpu.len()).collect();
+    order.sort_by(|&a, &b| {
+        cpu[b]
+            .peak()
+            .partial_cmp(&cpu[a].peak())
+            .expect("finite utilizations")
+    });
+
+    let mut srv_cpu: Vec<TimeSeries> = Vec::new();
+    let mut srv_mem: Vec<TimeSeries> = Vec::new();
+    let mut assignment = vec![usize::MAX; cpu.len()];
+    for vm in order {
+        // Among servers that fit, pick the one with the most
+        // complementary (least correlated) load.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..srv_cpu.len() {
+            let cpu_ok = !srv_cpu[j].add(&cpu[vm]).exceeds(cap_cpu, 1e-9);
+            let mem_ok = !srv_mem[j].add(&mem[vm]).exceeds(cap_mem, 1e-9);
+            if !cpu_ok || !mem_ok {
+                continue;
+            }
+            let phi = srv_cpu[j].complementary().correlation(&cpu[vm]);
+            if best.is_none_or(|(_, b)| phi > b) {
+                best = Some((j, phi));
+            }
+        }
+        let j = match best {
+            Some((j, _)) => j,
+            None => {
+                srv_cpu.push(TimeSeries::zeros(slot_len));
+                srv_mem.push(TimeSeries::zeros(slot_len));
+                srv_cpu.len() - 1
+            }
+        };
+        srv_cpu[j] = srv_cpu[j].add(&cpu[vm]);
+        srv_mem[j] = srv_mem[j].add(&mem[vm]);
+        assignment[vm] = j;
+    }
+    assignment
+}
+
+/// COAT: COnsolidation-Aware allocaTion (the paper's rendering of Kim et
+/// al., DATE'13) — the state-of-the-art baseline EPACT is compared
+/// against.
+///
+/// COAT consolidates VMs onto the minimum number of servers, filling
+/// each to its *maximum* capacity (100% at Fmax), using CPU-load
+/// correlation to avoid co-locating VMs that peak together, and turns
+/// everything else off. On conventional servers this is near-optimal; on
+/// energy-proportional NTC servers it forces the inefficient Fmax
+/// operating point and leaves no slack for mispredictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Coat {
+    _private: (),
+}
+
+impl Coat {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl AllocationPolicy for Coat {
+    fn name(&self) -> &str {
+        "COAT"
+    }
+
+    fn reallocation_period_slots(&self) -> usize {
+        24 // daily patterns, after Kim et al.
+    }
+
+    fn allocate(&self, ctx: &SlotContext<'_>) -> SlotPlan {
+        let fmax = ctx.server().fmax();
+        let assignments = consolidate(ctx.predicted_cpu(), ctx.predicted_mem(), 100.0, 100.0);
+        let n = assignments.iter().max().map_or(1, |&m| m + 1);
+        SlotPlan::new(
+            assignments,
+            n.min(ctx.max_servers().max(1)),
+            100.0,
+            100.0,
+            fmax,
+            fmax, // consolidation runs servers at the highest frequency
+            fmax,
+        )
+    }
+}
+
+/// COAT-OPT: COAT with the *optimal fixed cap* — consolidation against
+/// the capacity at the frequency that minimizes worst-case data-center
+/// power (`F_NTC_opt`, ≈1.9 GHz), kept fixed for the whole horizon.
+///
+/// The fixed cap removes COAT's biggest inefficiency (running at Fmax)
+/// but, unlike EPACT, cannot adapt the cap to the slot's workload mix
+/// nor raise frequency beyond it to absorb mispredictions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoatOpt {
+    _private: (),
+}
+
+impl CoatOpt {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Self { _private: () }
+    }
+
+    /// The fixed optimal frequency for `ctx`'s server fleet.
+    pub fn fixed_frequency(ctx: &SlotContext<'_>) -> Frequency {
+        DataCenterPowerModel::new(ctx.server().clone(), ctx.max_servers())
+            .ntc_optimal_frequency()
+    }
+}
+
+impl AllocationPolicy for CoatOpt {
+    fn name(&self) -> &str {
+        "COAT-OPT"
+    }
+
+    fn reallocation_period_slots(&self) -> usize {
+        24 // the cap is fixed and the packing follows daily patterns
+    }
+
+    fn allocate(&self, ctx: &SlotContext<'_>) -> SlotPlan {
+        let fmax = ctx.server().fmax();
+        let fopt = Self::fixed_frequency(ctx);
+        let cap_cpu = fopt.ratio(fmax) * 100.0;
+        let assignments =
+            consolidate(ctx.predicted_cpu(), ctx.predicted_mem(), cap_cpu, 100.0);
+        let n = assignments.iter().max().map_or(1, |&m| m + 1);
+        SlotPlan::new(
+            assignments,
+            n.min(ctx.max_servers().max(1)),
+            cap_cpu,
+            100.0,
+            fopt,
+            fopt, // the cap frequency is fixed for the whole horizon:
+            fopt, // no online slack below or above it
+        )
+    }
+}
+
+/// Worst-case data-center power of running `n` servers flat out at `f` —
+/// a helper the benches use to compare policies' planned operating
+/// points.
+pub fn worst_case_power(
+    ctx: &SlotContext<'_>,
+    n: usize,
+    f: Frequency,
+) -> ntc_units::Power {
+    ctx.server().power(f, Percent::FULL, Percent::ZERO) * n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_power::ServerPowerModel;
+
+    fn ctx_fixture<'a>(
+        cpu: &'a [TimeSeries],
+        mem: &'a [TimeSeries],
+        server: &'a ServerPowerModel,
+    ) -> SlotContext<'a> {
+        SlotContext::new(cpu, mem, server, 600)
+    }
+
+    #[test]
+    fn coat_consolidates_to_fewer_servers_than_epact() {
+        let server = ServerPowerModel::ntc();
+        let cpu = vec![TimeSeries::constant(12, 5.0); 60];
+        let mem = vec![TimeSeries::constant(12, 0.5); 60];
+        let ctx = ctx_fixture(&cpu, &mem, &server);
+        let coat = Coat::new().allocate(&ctx);
+        let epact = crate::Epact::new().allocate(&ctx);
+        assert!(
+            coat.num_servers() < epact.num_servers(),
+            "COAT ({}) must use fewer servers than EPACT ({})",
+            coat.num_servers(),
+            epact.num_servers()
+        );
+        assert_eq!(coat.planned_freq(), server.fmax());
+    }
+
+    #[test]
+    fn coat_opt_uses_optimal_fixed_cap() {
+        let server = ServerPowerModel::ntc();
+        let cpu = vec![TimeSeries::constant(12, 5.0); 30];
+        let mem = vec![TimeSeries::constant(12, 0.5); 30];
+        let ctx = ctx_fixture(&cpu, &mem, &server);
+        let plan = CoatOpt::new().allocate(&ctx);
+        assert!(
+            (1.4..=2.2).contains(&plan.planned_freq().as_ghz()),
+            "COAT-OPT cap must sit at F_NTC_opt, got {}",
+            plan.planned_freq()
+        );
+        assert_eq!(
+            plan.dvfs_ceiling(),
+            plan.planned_freq(),
+            "the cap is fixed: no slack above it"
+        );
+        // and it needs more servers than plain COAT
+        let coat = Coat::new().allocate(&ctx);
+        assert!(plan.num_servers() >= coat.num_servers());
+    }
+
+    #[test]
+    fn consolidation_respects_caps() {
+        let server = ServerPowerModel::ntc();
+        let cpu: Vec<TimeSeries> = (0..40)
+            .map(|i| TimeSeries::constant(12, 4.0 + (i % 4) as f64))
+            .collect();
+        let mem = vec![TimeSeries::constant(12, 2.0); 40];
+        let ctx = ctx_fixture(&cpu, &mem, &server);
+        for plan in [Coat::new().allocate(&ctx), CoatOpt::new().allocate(&ctx)] {
+            for agg in plan.aggregate_per_server(&cpu) {
+                assert!(!agg.exceeds(plan.cap_cpu(), 1e-6));
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_awareness_separates_peaking_vms() {
+        let server = ServerPowerModel::ntc();
+        let spiky = TimeSeries::from_values(vec![55.0, 5.0, 55.0, 5.0]);
+        let calm = TimeSeries::from_values(vec![5.0, 55.0, 5.0, 55.0]);
+        let cpu = vec![spiky.clone(), spiky, calm.clone(), calm];
+        let mem = vec![TimeSeries::constant(4, 1.0); 4];
+        let ctx = ctx_fixture(&cpu, &mem, &server);
+        let plan = Coat::new().allocate(&ctx);
+        // the two spiky VMs must not share a server (sum would be 110)
+        assert_ne!(plan.assignments()[0], plan.assignments()[1]);
+    }
+}

@@ -1,0 +1,315 @@
+use ntc_power::ServerPowerModel;
+use ntc_trace::TimeSeries;
+use ntc_units::Frequency;
+use serde::{Deserialize, Serialize};
+
+/// Everything a policy sees when allocating one time slot: the predicted
+/// per-VM utilization patterns for the slot and the server model.
+///
+/// Utilizations are percent of one server's capacity (CPU capacity is
+/// defined at `Fmax`).
+#[derive(Debug)]
+pub struct SlotContext<'a> {
+    predicted_cpu: &'a [TimeSeries],
+    predicted_mem: &'a [TimeSeries],
+    server: &'a ServerPowerModel,
+    max_servers: usize,
+}
+
+impl<'a> SlotContext<'a> {
+    /// Builds a context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CPU and memory prediction lists differ in length,
+    /// are empty, contain series of unequal length, or `max_servers`
+    /// is zero.
+    pub fn new(
+        predicted_cpu: &'a [TimeSeries],
+        predicted_mem: &'a [TimeSeries],
+        server: &'a ServerPowerModel,
+        max_servers: usize,
+    ) -> Self {
+        assert_eq!(
+            predicted_cpu.len(),
+            predicted_mem.len(),
+            "need one CPU and one memory prediction per VM"
+        );
+        assert!(!predicted_cpu.is_empty(), "context needs at least one VM");
+        assert!(max_servers > 0, "data center needs at least one server");
+        let len = predicted_cpu[0].len();
+        assert!(
+            predicted_cpu
+                .iter()
+                .chain(predicted_mem.iter())
+                .all(|s| s.len() == len),
+            "all prediction series must cover the same slot"
+        );
+        Self {
+            predicted_cpu,
+            predicted_mem,
+            server,
+            max_servers,
+        }
+    }
+
+    /// Per-VM predicted CPU series (percent of server capacity at Fmax).
+    pub fn predicted_cpu(&self) -> &[TimeSeries] {
+        self.predicted_cpu
+    }
+
+    /// Per-VM predicted memory series (percent of server memory).
+    pub fn predicted_mem(&self) -> &[TimeSeries] {
+        self.predicted_mem
+    }
+
+    /// The server power model (provides Fmax and the DVFS levels).
+    pub fn server(&self) -> &ServerPowerModel {
+        self.server
+    }
+
+    /// Number of physical servers installed.
+    pub fn max_servers(&self) -> usize {
+        self.max_servers
+    }
+
+    /// Number of VMs.
+    pub fn num_vms(&self) -> usize {
+        self.predicted_cpu.len()
+    }
+
+    /// Number of samples in the slot.
+    pub fn slot_len(&self) -> usize {
+        self.predicted_cpu[0].len()
+    }
+
+    /// Peak (over samples) of the aggregate predicted CPU demand —
+    /// the `max_n(Σ Ũcpu)` of Eq. 1.
+    pub fn peak_aggregate_cpu(&self) -> f64 {
+        TimeSeries::aggregate(self.slot_len(), self.predicted_cpu).peak()
+    }
+
+    /// Peak of the aggregate predicted memory demand — the
+    /// `max_n(Σ Ũmem)` of Eq. 1.
+    pub fn peak_aggregate_mem(&self) -> f64 {
+        TimeSeries::aggregate(self.slot_len(), self.predicted_mem).peak()
+    }
+}
+
+/// A policy's decision for one slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotPlan {
+    assignments: Vec<usize>,
+    num_servers: usize,
+    cap_cpu: f64,
+    cap_mem: f64,
+    planned_freq: Frequency,
+    dvfs_floor: Frequency,
+    dvfs_ceiling: Frequency,
+}
+
+impl SlotPlan {
+    /// Creates a plan.
+    ///
+    /// The `dvfs_floor`/`dvfs_ceiling` pair encodes how much online
+    /// frequency freedom the policy grants the governor: EPACT allows
+    /// the full range (`fmin..=Fmax`), COAT runs consolidated servers at
+    /// the highest frequency (`floor == ceiling == Fmax`), and COAT-OPT
+    /// pins servers at its fixed optimal cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any assignment refers to a server `>= num_servers`, the
+    /// caps are non-positive, or the planned frequency lies outside
+    /// `[dvfs_floor, dvfs_ceiling]`.
+    pub fn new(
+        assignments: Vec<usize>,
+        num_servers: usize,
+        cap_cpu: f64,
+        cap_mem: f64,
+        planned_freq: Frequency,
+        dvfs_floor: Frequency,
+        dvfs_ceiling: Frequency,
+    ) -> Self {
+        assert!(num_servers > 0, "plan must use at least one server");
+        assert!(
+            assignments.iter().all(|&s| s < num_servers),
+            "assignment to a server beyond num_servers"
+        );
+        assert!(cap_cpu > 0.0 && cap_mem > 0.0, "caps must be positive");
+        assert!(
+            dvfs_floor <= dvfs_ceiling,
+            "DVFS floor above the ceiling"
+        );
+        assert!(
+            planned_freq >= dvfs_floor && planned_freq <= dvfs_ceiling,
+            "planned frequency outside the online range"
+        );
+        Self {
+            assignments,
+            num_servers,
+            cap_cpu,
+            cap_mem,
+            planned_freq,
+            dvfs_floor,
+            dvfs_ceiling,
+        }
+    }
+
+    /// `assignments()[vm]` is the server index hosting VM `vm`.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Number of turned-on servers.
+    pub fn num_servers(&self) -> usize {
+        self.num_servers
+    }
+
+    /// The CPU cap used during packing, percent of capacity at Fmax.
+    pub fn cap_cpu(&self) -> f64 {
+        self.cap_cpu
+    }
+
+    /// The memory cap used during packing, percent of server memory.
+    pub fn cap_mem(&self) -> f64 {
+        self.cap_mem
+    }
+
+    /// The frequency the policy planned servers to run at.
+    pub fn planned_freq(&self) -> Frequency {
+        self.planned_freq
+    }
+
+    /// The highest frequency the policy allows the online governor to
+    /// raise a server to (Fmax for dynamic policies, the fixed cap for
+    /// COAT-OPT).
+    pub fn dvfs_ceiling(&self) -> Frequency {
+        self.dvfs_ceiling
+    }
+
+    /// The lowest frequency the policy allows the online governor to
+    /// drop a server to (fmin for EPACT; the planned frequency itself
+    /// for the fixed-frequency consolidation baselines).
+    pub fn dvfs_floor(&self) -> Frequency {
+        self.dvfs_floor
+    }
+
+    /// The per-server list of hosted VM indices.
+    pub fn vms_per_server(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_servers];
+        for (vm, &s) in self.assignments.iter().enumerate() {
+            out[s].push(vm);
+        }
+        out
+    }
+
+    /// Aggregated series (sum of `series[vm]` for VMs on each server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is shorter than the assignment list.
+    pub fn aggregate_per_server(&self, series: &[TimeSeries]) -> Vec<TimeSeries> {
+        assert!(
+            series.len() >= self.assignments.len(),
+            "need one series per assigned VM"
+        );
+        let len = series.first().map_or(0, |s| s.len());
+        let mut out = vec![TimeSeries::zeros(len); self.num_servers];
+        for (vm, &s) in self.assignments.iter().enumerate() {
+            out[s].add_in_place(&series[vm]);
+        }
+        out
+    }
+}
+
+/// A slot-level VM allocation policy (EPACT, COAT, COAT-OPT, …).
+pub trait AllocationPolicy: std::fmt::Debug {
+    /// The policy's display name.
+    fn name(&self) -> &str;
+
+    /// Produces the plan for one allocation window from predicted
+    /// utilizations.
+    fn allocate(&self, ctx: &SlotContext<'_>) -> SlotPlan;
+
+    /// How many hourly slots one plan stays in force.
+    ///
+    /// EPACT re-allocates every slot (its defining "dynamic" property,
+    /// §V-B); the consolidation baselines follow the daily utilization
+    /// patterns of Kim et al. and re-allocate once per day (24 slots).
+    fn reallocation_period_slots(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_series(n: usize, v: f64) -> Vec<TimeSeries> {
+        vec![TimeSeries::constant(4, v); n]
+    }
+
+    #[test]
+    fn context_aggregates() {
+        let server = ServerPowerModel::ntc();
+        let cpu = ctx_series(10, 5.0);
+        let mem = ctx_series(10, 2.0);
+        let ctx = SlotContext::new(&cpu, &mem, &server, 100);
+        assert_eq!(ctx.num_vms(), 10);
+        assert!((ctx.peak_aggregate_cpu() - 50.0).abs() < 1e-9);
+        assert!((ctx.peak_aggregate_mem() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_per_server_views() {
+        let f = Frequency::from_ghz(1.9);
+        let plan = SlotPlan::new(
+            vec![0, 1, 0],
+            2,
+            61.0,
+            100.0,
+            f,
+            Frequency::from_mhz(100.0),
+            Frequency::from_ghz(3.1),
+        );
+        assert_eq!(plan.vms_per_server(), vec![vec![0, 2], vec![1]]);
+        let series = vec![
+            TimeSeries::constant(2, 1.0),
+            TimeSeries::constant(2, 2.0),
+            TimeSeries::constant(2, 3.0),
+        ];
+        let agg = plan.aggregate_per_server(&series);
+        assert_eq!(agg[0].values(), &[4.0, 4.0]);
+        assert_eq!(agg[1].values(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond num_servers")]
+    fn bad_assignment_rejected() {
+        let f = Frequency::from_ghz(1.9);
+        let _ = SlotPlan::new(
+            vec![2],
+            2,
+            50.0,
+            100.0,
+            f,
+            Frequency::from_mhz(100.0),
+            Frequency::from_ghz(3.1),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the online range")]
+    fn inverted_frequencies_rejected() {
+        let _ = SlotPlan::new(
+            vec![0],
+            1,
+            50.0,
+            100.0,
+            Frequency::from_ghz(3.1),
+            Frequency::from_mhz(100.0),
+            Frequency::from_ghz(1.9),
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the allocation algorithms.
+
+use ntc_core::{migration_count, OneDimAllocator, SlotPlan, TwoDimAllocator};
+use ntc_trace::TimeSeries;
+use ntc_units::Frequency;
+use proptest::prelude::*;
+
+fn vm_cpu(n: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..30.0, len), n)
+}
+
+fn to_series(v: Vec<Vec<f64>>) -> Vec<TimeSeries> {
+    v.into_iter().map(TimeSeries::from_values).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn alg1_places_every_vm_exactly_once(cpu in vm_cpu(10, 6)) {
+        let cpu = to_series(cpu);
+        let alloc = OneDimAllocator::new(Frequency::from_ghz(1.9), Frequency::from_ghz(3.1));
+        let a = alloc.allocate(&cpu);
+        prop_assert_eq!(a.len(), cpu.len());
+        // server ids are contiguous from 0
+        let max = a.iter().copied().max().unwrap();
+        for s in 0..=max {
+            prop_assert!(a.contains(&s), "server {} is empty", s);
+        }
+    }
+
+    #[test]
+    fn alg1_respects_cap_for_multi_vm_servers(cpu in vm_cpu(12, 4)) {
+        let cpu = to_series(cpu);
+        let alloc = OneDimAllocator::new(Frequency::from_ghz(1.9), Frequency::from_ghz(3.1));
+        let a = alloc.allocate(&cpu);
+        let servers = a.iter().copied().max().unwrap() + 1;
+        for s in 0..servers {
+            let members: Vec<&TimeSeries> =
+                a.iter().enumerate().filter(|&(_, &x)| x == s).map(|(vm, _)| &cpu[vm]).collect();
+            if members.len() < 2 {
+                continue; // a lone oversized VM is admitted unconditionally
+            }
+            let agg = TimeSeries::aggregate(4, members.iter().copied());
+            prop_assert!(
+                !agg.exceeds(alloc.cap_cpu(), 1e-6),
+                "server {} exceeds cap with {} VMs",
+                s,
+                members.len()
+            );
+        }
+    }
+
+    #[test]
+    fn alg1_is_deterministic(cpu in vm_cpu(8, 4)) {
+        let cpu = to_series(cpu);
+        let alloc = OneDimAllocator::new(Frequency::from_ghz(1.9), Frequency::from_ghz(3.1));
+        prop_assert_eq!(alloc.allocate(&cpu), alloc.allocate(&cpu));
+    }
+
+    #[test]
+    fn alg2_feasible_per_sample(
+        cpu in vm_cpu(10, 4),
+        mem in prop::collection::vec(prop::collection::vec(0.0f64..20.0, 4), 10),
+    ) {
+        let cpu = to_series(cpu);
+        let mem = to_series(mem);
+        let alloc = TwoDimAllocator::new(61.3, 100.0, 3);
+        let a = alloc.allocate(&cpu, &mem);
+        let servers = a.iter().copied().max().unwrap() + 1;
+        for s in 0..servers {
+            let members: Vec<usize> =
+                a.iter().enumerate().filter(|&(_, &x)| x == s).map(|(vm, _)| vm).collect();
+            if members.len() < 2 {
+                continue;
+            }
+            let agg_cpu = TimeSeries::aggregate(4, members.iter().map(|&v| &cpu[v]));
+            let agg_mem = TimeSeries::aggregate(4, members.iter().map(|&v| &mem[v]));
+            prop_assert!(!agg_cpu.exceeds(61.3, 1e-6));
+            prop_assert!(!agg_mem.exceeds(100.0, 1e-6));
+        }
+    }
+
+    #[test]
+    fn migrations_bounded_by_fleet_size(
+        a in prop::collection::vec(0usize..4, 12),
+        b in prop::collection::vec(0usize..4, 12),
+    ) {
+        let f = Frequency::from_ghz(1.9);
+        let fmin = Frequency::from_mhz(100.0);
+        let fmax = Frequency::from_ghz(3.1);
+        let norm = |v: Vec<usize>| -> SlotPlan {
+            // compact indices so num_servers matches
+            let max = v.iter().copied().max().unwrap_or(0);
+            SlotPlan::new(v, max + 1, 61.3, 100.0, f, fmin, fmax)
+        };
+        let pa = norm(a);
+        let pb = norm(b);
+        let m = migration_count(&pa, &pb);
+        prop_assert!(m <= 12);
+        prop_assert_eq!(migration_count(&pa, &pa.clone()), 0);
+    }
+
+    #[test]
+    fn migration_symmetry_under_relabeling(assign in prop::collection::vec(0usize..3, 9)) {
+        // relabeling servers (0<->1<->2 rotation) costs nothing
+        let f = Frequency::from_ghz(1.9);
+        let fmin = Frequency::from_mhz(100.0);
+        let fmax = Frequency::from_ghz(3.1);
+        let rotated: Vec<usize> = assign.iter().map(|&s| (s + 1) % 3).collect();
+        let pa = SlotPlan::new(assign, 3, 61.3, 100.0, f, fmin, fmax);
+        let pb = SlotPlan::new(rotated, 3, 61.3, 100.0, f, fmin, fmax);
+        prop_assert_eq!(migration_count(&pa, &pb), 0);
+    }
+}

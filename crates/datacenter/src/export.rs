@@ -1,0 +1,156 @@
+//! CSV export of experiment results — so the regenerated figures can be
+//! plotted with any external tool.
+
+use std::fmt::Write as _;
+
+use crate::WeekOutcome;
+use crate::experiments::{Fig1Curve, Fig2Series, Fig3Series, Fig7Point};
+
+/// Renders the per-slot series of several week outcomes side by side
+/// (Figs. 4–6 in one table): columns
+/// `slot,<policy>_violations,<policy>_servers,<policy>_energy_mj,...`.
+///
+/// # Panics
+///
+/// Panics if the outcomes cover different numbers of slots or the list
+/// is empty.
+pub fn week_csv(outcomes: &[WeekOutcome]) -> String {
+    assert!(!outcomes.is_empty(), "need at least one outcome");
+    let slots = outcomes[0].slots.len();
+    assert!(
+        outcomes.iter().all(|o| o.slots.len() == slots),
+        "outcomes must cover the same horizon"
+    );
+
+    let mut out = String::from("slot");
+    for o in outcomes {
+        let p = o.policy.to_lowercase().replace(['-', ' '], "_");
+        let _ = write!(
+            out,
+            ",{p}_violations,{p}_servers,{p}_migrations,{p}_energy_mj"
+        );
+    }
+    out.push('\n');
+    for t in 0..slots {
+        let _ = write!(out, "{t}");
+        for o in outcomes {
+            let s = &o.slots[t];
+            let _ = write!(
+                out,
+                ",{},{},{},{:.4}",
+                s.violations,
+                s.active_servers,
+                s.migrations,
+                s.energy.as_megajoules()
+            );
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one Fig. 1 panel: `utilization_pct,freq_mhz,power_kw`
+/// (infeasible points omitted).
+pub fn fig1_csv(curves: &[Fig1Curve]) -> String {
+    let mut out = String::from("utilization_pct,freq_mhz,power_kw\n");
+    for c in curves {
+        for (f, p) in &c.points {
+            if let Some(p) = p {
+                let _ = writeln!(
+                    out,
+                    "{:.0},{:.0},{:.4}",
+                    c.utilization,
+                    f.as_mhz(),
+                    p.as_kilowatts()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders Fig. 2: `workload,freq_mhz,normalized_time`.
+pub fn fig2_csv(series: &[Fig2Series]) -> String {
+    let mut out = String::from("workload,freq_mhz,normalized_time\n");
+    for s in series {
+        for (f, v) in &s.points {
+            let _ = writeln!(out, "{},{:.0},{:.4}", s.workload, f.as_mhz(), v);
+        }
+    }
+    out
+}
+
+/// Renders Fig. 3: `workload,freq_mhz,buips_per_watt`.
+pub fn fig3_csv(series: &[Fig3Series]) -> String {
+    let mut out = String::from("workload,freq_mhz,buips_per_watt\n");
+    for s in series {
+        for (f, v) in &s.points {
+            let _ = writeln!(out, "{},{:.0},{:.4}", s.workload, f.as_mhz(), v);
+        }
+    }
+    out
+}
+
+/// Renders Fig. 7: `static_w,epact_mj,coat_mj,saving_pct`.
+pub fn fig7_csv(points: &[Fig7Point]) -> String {
+    let mut out = String::from("static_w,epact_mj,coat_mj,saving_pct\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:.0},{:.4},{:.4},{:.2}",
+            p.static_power.as_watts(),
+            p.epact_energy.as_megajoules(),
+            p.coat_energy.as_megajoules(),
+            p.saving_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SlotOutcome;
+    use ntc_units::{Energy, Frequency};
+
+    fn outcome(name: &str, slots: usize) -> WeekOutcome {
+        WeekOutcome {
+            policy: name.into(),
+            slots: (0..slots)
+                .map(|i| SlotOutcome {
+                    violations: i,
+                    active_servers: 10 + i,
+                    migrations: i / 2,
+                    energy: Energy::from_megajoules(1.0 + i as f64),
+                    planned_freq: Frequency::from_ghz(1.9),
+                    mean_freq: Frequency::from_ghz(1.5),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn week_csv_layout() {
+        let csv = week_csv(&[outcome("EPACT", 2), outcome("COAT-OPT", 2)]);
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("slot,epact_violations"));
+        assert!(header.contains("coat_opt_energy_mj"));
+        assert_eq!(lines.count(), 2);
+        assert!(csv.contains("1,1,11,0,2.0000"));
+    }
+
+    #[test]
+    fn fig_csvs_have_headers() {
+        assert!(fig2_csv(&[]).starts_with("workload,freq_mhz,"));
+        assert!(fig3_csv(&[]).starts_with("workload,freq_mhz,"));
+        assert!(fig7_csv(&[]).starts_with("static_w,"));
+        assert!(fig1_csv(&[]).starts_with("utilization_pct,"));
+    }
+
+    #[test]
+    #[should_panic(expected = "same horizon")]
+    fn ragged_outcomes_rejected() {
+        let _ = week_csv(&[outcome("A", 2), outcome("B", 3)]);
+    }
+}

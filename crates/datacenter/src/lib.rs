@@ -1,0 +1,36 @@
+//! The data-center evaluation harness (§VI-C of the paper).
+//!
+//! [`WeekSim`] drives an [`AllocationPolicy`](ntc_core::AllocationPolicy)
+//! over a one-week horizon of
+//! hourly slots: at each slot boundary the policy allocates VMs to
+//! servers from *predicted* utilization, then the slot is replayed with
+//! the *actual* traces — the online DVFS governor picks a frequency per
+//! server per 5-minute sample, energy is integrated through the server
+//! power model, and overutilized server-samples are counted as SLA
+//! violations (Fig. 4). The [`experiments`] module packages the runs
+//! that regenerate every figure of the evaluation.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_core::Epact;
+//! use ntc_datacenter::WeekSim;
+//! use ntc_power::ServerPowerModel;
+//! use ntc_workload::ClusterTraceGenerator;
+//!
+//! let fleet = ClusterTraceGenerator::google_like(24, 7).generate();
+//! let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+//! let outcome = sim.run_with_oracle(&Epact::new());
+//! assert_eq!(outcome.slots.len(), 168);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod export;
+mod outcome;
+mod weeksim;
+
+pub use outcome::{SlotOutcome, WeekOutcome};
+pub use weeksim::WeekSim;

@@ -1,0 +1,348 @@
+use ntc_core::{AllocationPolicy, DvfsGovernor, SlotContext};
+use ntc_forecast::Predictor;
+use ntc_power::ServerPowerModel;
+use ntc_trace::TimeSeries;
+use ntc_units::{Energy, Frequency, Percent, Power, Seconds};
+use ntc_workload::Fleet;
+
+use crate::{SlotOutcome, WeekOutcome};
+
+/// Drives an allocation policy over the evaluation week.
+///
+/// The fleet must carry at least two weeks of traces: everything before
+/// the final week is treated as predictor training history (the paper
+/// trains ARIMA on the previous week), and the final 168 slots are the
+/// evaluated horizon.
+#[derive(Debug)]
+pub struct WeekSim<'a> {
+    fleet: &'a Fleet,
+    server: ServerPowerModel,
+    max_servers: usize,
+    eval_start: usize,
+    qos_floor: Option<Frequency>,
+}
+
+impl<'a> WeekSim<'a> {
+    /// Creates a simulator over `fleet` with `max_servers` physical
+    /// servers of the given model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet horizon is shorter than two weeks of 5-minute
+    /// samples (training week + evaluation week) or `max_servers == 0`.
+    pub fn new(fleet: &'a Fleet, server: ServerPowerModel, max_servers: usize) -> Self {
+        assert!(max_servers > 0, "data center needs at least one server");
+        let week = 7 * 24 * 12;
+        assert!(
+            fleet.grid().len() >= 2 * week,
+            "fleet must carry a training week plus the evaluation week"
+        );
+        Self {
+            fleet,
+            server,
+            max_servers,
+            eval_start: fleet.grid().len() - week,
+            qos_floor: None,
+        }
+    }
+
+    /// Adds a QoS frequency floor: no occupied server ever runs below
+    /// `floor`, regardless of demand.
+    ///
+    /// §VI-B3 of the paper establishes per-class minimum QoS-safe
+    /// frequencies (1.2 GHz for low-mem, 1.8 GHz for mid/high-mem
+    /// batches); a deployment that must honour the 2× degradation bound
+    /// even for lightly loaded servers sets the hosted classes' maximum
+    /// here. The default (no floor) models pure demand-proportional
+    /// DVFS, where a VM's utilization share already reflects its batch
+    /// progress.
+    pub fn with_qos_floor(mut self, floor: Frequency) -> Self {
+        self.qos_floor = Some(floor);
+        self
+    }
+
+    /// Sample index where the evaluation week begins.
+    pub fn eval_start(&self) -> usize {
+        self.eval_start
+    }
+
+    /// Number of evaluated slots (168).
+    pub fn eval_slots(&self) -> usize {
+        (self.fleet.grid().len() - self.eval_start) / self.fleet.grid().samples_per_slot()
+    }
+
+    /// Runs `policy` with per-day forecasts from `predictor` — the
+    /// paper's full pipeline (§V-B): ARIMA retrains each day on all
+    /// history seen so far and forecasts the day ahead; each hourly slot
+    /// is allocated from its window of that forecast.
+    pub fn run(&self, policy: &dyn AllocationPolicy, predictor: &dyn Predictor) -> WeekOutcome {
+        self.run_inner(policy, Some(predictor))
+    }
+
+    /// Runs `policy` with *oracle* predictions (the actual traces) —
+    /// isolates allocation quality from forecast quality, and is what
+    /// the allocation ablations use.
+    pub fn run_with_oracle(&self, policy: &dyn AllocationPolicy) -> WeekOutcome {
+        self.run_inner(policy, None)
+    }
+
+    fn run_inner(
+        &self,
+        policy: &dyn AllocationPolicy,
+        predictor: Option<&dyn Predictor>,
+    ) -> WeekOutcome {
+        let grid = self.fleet.grid();
+        let sps = grid.samples_per_slot();
+        let per_day = grid.samples_per_day();
+        let slots = self.eval_slots();
+        let slots_per_day = per_day / sps;
+        let n_vms = self.fleet.len();
+        let governor = DvfsGovernor::new(&self.server);
+
+        let mut day_forecast_cpu: Vec<TimeSeries> = Vec::new();
+        let mut day_forecast_mem: Vec<TimeSeries> = Vec::new();
+
+        // EPACT re-plans every slot; the consolidation baselines follow
+        // daily patterns and keep one plan in force for 24 slots.
+        let period = policy.reallocation_period_slots().clamp(1, slots_per_day);
+        let mut current_plan: Option<ntc_core::SlotPlan> = None;
+        let mut migrations_this_slot;
+
+        let mut outcomes = Vec::with_capacity(slots);
+        for slot in 0..slots {
+            let start = self.eval_start + slot * sps;
+            let range = start..start + sps;
+
+            // Refresh the day-ahead forecast at each day boundary.
+            if let (Some(p), 0) = (predictor, slot % slots_per_day) {
+                day_forecast_cpu = (0..n_vms)
+                    .map(|v| p.forecast(&self.fleet.vms()[v].cpu.window(0..start), per_day))
+                    .collect();
+                day_forecast_mem = (0..n_vms)
+                    .map(|v| p.forecast(&self.fleet.vms()[v].mem.window(0..start), per_day))
+                    .collect();
+            }
+
+            if slot % period == 0 {
+                // Prediction window covering the whole allocation period
+                // (or the oracle's actuals).
+                let window_len = sps * period.min(slots - slot);
+                let offset = (slot % slots_per_day) * sps;
+                let (pred_cpu, pred_mem): (Vec<TimeSeries>, Vec<TimeSeries>) = match predictor
+                {
+                    Some(_) => (
+                        day_forecast_cpu
+                            .iter()
+                            .map(|s| s.window(offset..offset + window_len))
+                            .collect(),
+                        day_forecast_mem
+                            .iter()
+                            .map(|s| s.window(offset..offset + window_len))
+                            .collect(),
+                    ),
+                    None => (
+                        self.fleet
+                            .vms()
+                            .iter()
+                            .map(|v| v.cpu.window(start..start + window_len))
+                            .collect(),
+                        self.fleet
+                            .vms()
+                            .iter()
+                            .map(|v| v.mem.window(start..start + window_len))
+                            .collect(),
+                    ),
+                };
+                let ctx =
+                    SlotContext::new(&pred_cpu, &pred_mem, &self.server, self.max_servers);
+                let new_plan = policy.allocate(&ctx);
+                migrations_this_slot = match &current_plan {
+                    Some(prev) => ntc_core::migration_count(prev, &new_plan),
+                    None => 0,
+                };
+                current_plan = Some(new_plan);
+            } else {
+                migrations_this_slot = 0;
+            }
+            let plan = current_plan.as_ref().expect("plan set at period start");
+
+            // Replay the slot with the actual traces.
+            let actual_cpu: Vec<TimeSeries> = self
+                .fleet
+                .vms()
+                .iter()
+                .map(|v| v.cpu.window(range.clone()))
+                .collect();
+            let actual_mem: Vec<TimeSeries> = self
+                .fleet
+                .vms()
+                .iter()
+                .map(|v| v.mem.window(range.clone()))
+                .collect();
+            let per_server_cpu = plan.aggregate_per_server(&actual_cpu);
+            let per_server_mem = plan.aggregate_per_server(&actual_mem);
+            let occupancy: Vec<bool> = plan
+                .vms_per_server()
+                .iter()
+                .map(|vms| !vms.is_empty())
+                .collect();
+
+            let mut violations = 0usize;
+            let mut energy = Energy::ZERO;
+            let mut freq_sum_mhz = 0.0;
+            let mut freq_count = 0usize;
+            let sample_period: Seconds = grid.sample_period();
+
+            for (srv, active) in occupancy.iter().enumerate() {
+                if !active {
+                    continue; // turned off, draws nothing
+                }
+                for k in 0..sps {
+                    let demand_cpu = per_server_cpu[srv].at(k);
+                    let demand_mem = per_server_mem[srv].at(k);
+                    let ceiling = plan.dvfs_ceiling();
+                    if governor.is_violated(demand_cpu, ceiling) || demand_mem > 100.0 + 1e-9 {
+                        violations += 1;
+                    }
+                    let mut f = governor
+                        .level_for_demand(demand_cpu.min(100.0), ceiling)
+                        .max(plan.dvfs_floor());
+                    if let Some(floor) = self.qos_floor {
+                        f = f.max(floor.min(ceiling));
+                    }
+                    let util = governor.utilization_at(demand_cpu.min(100.0), f);
+                    let mem_util = Percent::new(demand_mem.min(100.0));
+                    let p: Power = self.server.power(f, util, mem_util);
+                    energy += p * sample_period;
+                    freq_sum_mhz += f.as_mhz();
+                    freq_count += 1;
+                }
+            }
+
+            outcomes.push(SlotOutcome {
+                violations,
+                active_servers: occupancy.iter().filter(|&&a| a).count(),
+                migrations: migrations_this_slot,
+                energy,
+                planned_freq: plan.planned_freq(),
+                mean_freq: if freq_count == 0 {
+                    Frequency::ZERO
+                } else {
+                    Frequency::from_mhz(freq_sum_mhz / freq_count as f64)
+                },
+            });
+        }
+
+        WeekOutcome {
+            policy: policy.name().to_string(),
+            slots: outcomes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_core::{Coat, CoatOpt, Epact};
+    use ntc_workload::ClusterTraceGenerator;
+
+    fn small_fleet() -> Fleet {
+        ClusterTraceGenerator::google_like(48, 2024).generate()
+    }
+
+    #[test]
+    fn oracle_run_covers_the_week() {
+        let fleet = small_fleet();
+        let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let out = sim.run_with_oracle(&Epact::new());
+        assert_eq!(out.slots.len(), 168);
+        assert!(out.total_energy() > Energy::ZERO);
+        assert!(out.mean_active_servers() >= 1.0);
+    }
+
+    #[test]
+    fn oracle_epact_has_no_violations() {
+        // With perfect predictions EPACT packs under cap with Fmax
+        // slack: violations must be zero.
+        let fleet = small_fleet();
+        let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let out = sim.run_with_oracle(&Epact::new());
+        assert_eq!(
+            out.total_violations(),
+            0,
+            "oracle EPACT must never overutilize"
+        );
+    }
+
+    #[test]
+    fn coat_uses_fewer_servers_but_more_energy() {
+        let fleet = small_fleet();
+        let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let epact = sim.run_with_oracle(&Epact::new());
+        let coat = sim.run_with_oracle(&Coat::new());
+        assert!(
+            coat.mean_active_servers() < epact.mean_active_servers(),
+            "consolidation must use fewer servers: COAT {:.1} vs EPACT {:.1}",
+            coat.mean_active_servers(),
+            epact.mean_active_servers()
+        );
+        assert!(
+            epact.total_energy() < coat.total_energy(),
+            "EPACT must still save energy: {:.1} vs {:.1} MJ",
+            epact.total_energy().as_megajoules(),
+            coat.total_energy().as_megajoules()
+        );
+    }
+
+    #[test]
+    fn coat_opt_sits_between() {
+        let fleet = small_fleet();
+        let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let epact = sim.run_with_oracle(&Epact::new());
+        let coat = sim.run_with_oracle(&Coat::new());
+        let coat_opt = sim.run_with_oracle(&CoatOpt::new());
+        let e_epact = epact.total_energy().as_joules();
+        let e_opt = coat_opt.total_energy().as_joules();
+        let e_coat = coat.total_energy().as_joules();
+        assert!(
+            e_epact <= e_opt * 1.02 && e_opt < e_coat,
+            "expected EPACT <= COAT-OPT < COAT, got {e_epact:.2e} / {e_opt:.2e} / {e_coat:.2e}"
+        );
+    }
+
+    #[test]
+    fn qos_floor_raises_energy_not_violations() {
+        let fleet = small_fleet();
+        let plain = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let floored = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600)
+            .with_qos_floor(Frequency::from_ghz(1.8));
+        let e_plain = plain.run_with_oracle(&Epact::new());
+        let e_floor = floored.run_with_oracle(&Epact::new());
+        assert!(
+            e_floor.total_energy() >= e_plain.total_energy(),
+            "a frequency floor can only cost energy"
+        );
+        assert_eq!(
+            e_floor.total_violations(),
+            e_plain.total_violations(),
+            "the floor must not change violation accounting"
+        );
+        // mean served frequency rises to at least the floor
+        let mean_f = e_floor
+            .slots
+            .iter()
+            .map(|s| s.mean_freq.as_mhz())
+            .sum::<f64>()
+            / e_floor.slots.len() as f64;
+        assert!(mean_f >= 1800.0 - 1e-6, "mean frequency {mean_f} MHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "training week")]
+    fn single_week_fleet_rejected() {
+        let fleet = ClusterTraceGenerator::google_like(4, 1)
+            .with_weeks(1)
+            .generate();
+        let _ = WeekSim::new(&fleet, ServerPowerModel::ntc(), 10);
+    }
+}

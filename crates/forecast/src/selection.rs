@@ -1,0 +1,160 @@
+//! ARIMA order selection by information criterion — the "auto-ARIMA"
+//! used when the (p,q) orders are not known a priori.
+
+use crate::Arima;
+
+/// A scored candidate from an order search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// AR order.
+    pub p: usize,
+    /// Differencing order.
+    pub d: usize,
+    /// MA order.
+    pub q: usize,
+    /// Akaike information criterion (lower is better).
+    pub aic: f64,
+}
+
+/// The AIC of a fitted model on its training data:
+/// `n·ln(σ²) + 2k` with `σ²` the one-step in-sample residual variance
+/// and `k = p + q + 1` parameters.
+///
+/// # Panics
+///
+/// Panics if the history is too short for the spec.
+pub fn aic(spec: Arima, history: &[f64], seasonal: Option<usize>) -> f64 {
+    let spec = match seasonal {
+        Some(s) => spec.with_seasonal(s),
+        None => spec,
+    };
+    let fit = spec.fit(history);
+    // One-step in-sample forecasts via rolling refits are expensive;
+    // approximate the residual variance with the h=1 forecast error on
+    // a set of held-out cut points.
+    let n = history.len();
+    let cuts = 8usize;
+    let min_len = n * 3 / 4;
+    let mut sq_err = 0.0;
+    let mut count = 0usize;
+    for c in 0..cuts {
+        let cut = min_len + c * (n - min_len - 1) / cuts.max(1);
+        if cut + 1 > n - 1 {
+            break;
+        }
+        let sub = spec.fit(&history[..cut]);
+        let fc = sub.forecast(1);
+        let e = fc[0] - history[cut];
+        sq_err += e * e;
+        count += 1;
+    }
+    let _ = fit;
+    let sigma2 = (sq_err / count.max(1) as f64).max(1e-12);
+    let k = (spec.p() + spec.q() + 1) as f64;
+    n as f64 * sigma2.ln() + 2.0 * k
+}
+
+/// Searches `p ∈ [0, max_p]`, `q ∈ [0, max_q]` (skipping the empty
+/// model) at fixed `d`, returning candidates sorted by ascending AIC.
+///
+/// # Panics
+///
+/// Panics if the history is too short for the largest candidate.
+pub fn auto_arima(
+    history: &[f64],
+    max_p: usize,
+    max_q: usize,
+    d: usize,
+    seasonal: Option<usize>,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    for p in 0..=max_p {
+        for q in 0..=max_q {
+            if p + q == 0 {
+                continue;
+            }
+            let spec = Arima::new(p, d, q);
+            let score = aic(spec, history, seasonal);
+            out.push(Candidate {
+                p,
+                d,
+                q,
+                aic: score,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.aic.partial_cmp(&b.aic).expect("finite AIC"));
+    out
+}
+
+/// The best specification from [`auto_arima`].
+///
+/// # Panics
+///
+/// Panics if the search space is empty.
+pub fn best_order(
+    history: &[f64],
+    max_p: usize,
+    max_q: usize,
+    d: usize,
+    seasonal: Option<usize>,
+) -> Arima {
+    let cands = auto_arima(history, max_p, max_q, d, seasonal);
+    let best = cands.first().expect("non-empty search space");
+    let spec = Arima::new(best.p.max(1).min(best.p + best.q), best.d, best.q);
+    match seasonal {
+        Some(s) => spec.with_seasonal(s),
+        None => spec,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar2_series(n: usize) -> Vec<f64> {
+        let mut y = vec![0.0, 0.0];
+        let mut state = 0xABCDEFu64;
+        for t in 2..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let e = (state as f64 / u64::MAX as f64) - 0.5;
+            y.push(0.6 * y[t - 1] + 0.25 * y[t - 2] + e);
+        }
+        y
+    }
+
+    #[test]
+    fn search_returns_sorted_candidates() {
+        let y = ar2_series(600);
+        let cands = auto_arima(&y, 3, 2, 0, None);
+        assert_eq!(cands.len(), 3 * 3 + 2); // 4x3 minus the (0,0) model
+        for w in cands.windows(2) {
+            assert!(w[0].aic <= w[1].aic);
+        }
+    }
+
+    #[test]
+    fn captures_order_two_structure() {
+        // AR(2) data: the winner must carry at least two lag terms in
+        // some combination (an MA(2) approximates an AR(2) at horizon 1,
+        // so either family may win the noisy holdout).
+        let y = ar2_series(800);
+        let cands = auto_arima(&y, 3, 2, 0, None);
+        let best = cands[0];
+        assert!(
+            best.p + best.q >= 2,
+            "AR(2) data should select a second-order model, got {best:?}"
+        );
+    }
+
+    #[test]
+    fn best_order_is_fittable() {
+        let y = ar2_series(400);
+        let spec = best_order(&y, 2, 1, 0, None);
+        let fc = spec.fit(&y).forecast(5);
+        assert_eq!(fc.len(), 5);
+        assert!(fc.iter().all(|v| v.is_finite()));
+    }
+}

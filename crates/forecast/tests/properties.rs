@@ -1,0 +1,79 @@
+//! Property-based tests of the forecasting stack.
+
+use ntc_forecast::{diff, metrics, Arima, ArimaPredictor, HoltWinters, Predictor, SeasonalNaive};
+use ntc_trace::TimeSeries;
+use proptest::prelude::*;
+
+fn series(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn difference_integrate_round_trip(y in series(64), lag in 1usize..8) {
+        let z = diff::difference(&y, lag);
+        let rec = diff::integrate(&y[..lag], &z, lag);
+        for (a, b) in rec.iter().zip(&y[lag..]) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seasonal_naive_output_is_periodic(y in series(96), h in 1usize..48) {
+        let period = 24;
+        let ts = TimeSeries::from_values(y);
+        let fc = SeasonalNaive::new(period).forecast(&ts, h);
+        prop_assert_eq!(fc.len(), h);
+        for i in period..h {
+            prop_assert!((fc.at(i) - fc.at(i - period)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn predictors_return_requested_horizon_and_bounds(
+        y in series(3 * 288 + 17),
+        h in 1usize..300,
+    ) {
+        let ts = TimeSeries::from_values(y);
+        let hi = 1.5 * ts.peak() + 1e-9;
+        for p in [
+            &ArimaPredictor::daily(288) as &dyn Predictor,
+            &HoltWinters::daily(288),
+            &SeasonalNaive::new(288),
+        ] {
+            let fc = p.forecast(&ts, h);
+            prop_assert_eq!(fc.len(), h);
+            prop_assert!(fc.values().iter().all(|&v| v >= 0.0));
+            prop_assert!(fc.values().iter().all(|&v| v <= hi.max(100.0)));
+        }
+    }
+
+    #[test]
+    fn arima_forecasts_are_finite(y in series(200)) {
+        let fit = Arima::new(2, 0, 1).fit(&y);
+        let fc = fit.forecast(50);
+        prop_assert!(fc.iter().all(|v| v.is_finite()));
+        // stationarity clamp: long-horizon forecasts must stay bounded
+        prop_assert!(fc.iter().all(|v| v.abs() < 1e4));
+    }
+
+    #[test]
+    fn metrics_are_nonnegative_and_zero_on_self(y in series(32)) {
+        prop_assert_eq!(metrics::rmse(&y, &y), 0.0);
+        prop_assert_eq!(metrics::mae(&y, &y), 0.0);
+        let shifted: Vec<f64> = y.iter().map(|v| v + 1.0).collect();
+        prop_assert!(metrics::rmse(&y, &shifted) > 0.0);
+        prop_assert!(metrics::smape(&y, &shifted) >= 0.0);
+        prop_assert!(metrics::smape(&y, &shifted) <= 200.0);
+    }
+
+    #[test]
+    fn rmse_dominates_mae(y1 in series(32), y2 in series(32)) {
+        // RMSE >= MAE always (Cauchy-Schwarz).
+        let rmse = metrics::rmse(&y1, &y2);
+        let mae = metrics::mae(&y1, &y2);
+        prop_assert!(rmse >= mae - 1e-12);
+    }
+}

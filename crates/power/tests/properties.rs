@@ -1,0 +1,110 @@
+//! Property-based tests of the power models.
+
+use ntc_power::{
+    proportionality, DataCenterPowerModel, ServerLoad, ServerPowerModel, VfCurve,
+};
+use ntc_units::{Frequency, Percent, Voltage};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn vf_interpolation_stays_between_knots(mhz in 100.0f64..3100.0) {
+        let c = VfCurve::fdsoi_28nm_ntc();
+        let v = c.voltage_at(Frequency::from_mhz(mhz));
+        prop_assert!(v >= Voltage::from_volts(0.46));
+        prop_assert!(v <= Voltage::from_volts(1.15));
+    }
+
+    #[test]
+    fn vf_is_monotone(m1 in 100.0f64..3100.0, m2 in 100.0f64..3100.0) {
+        let c = VfCurve::fdsoi_28nm_ntc();
+        let (lo, hi) = if m1 <= m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(
+            c.voltage_at(Frequency::from_mhz(lo)) <= c.voltage_at(Frequency::from_mhz(hi))
+        );
+    }
+
+    #[test]
+    fn breakdown_components_sum_to_total(
+        ghz in 0.1f64..3.1,
+        cpu in 0.0f64..100.0,
+        wfm_share in 0.0f64..1.0,
+        mem in 0.0f64..100.0,
+    ) {
+        let m = ServerPowerModel::ntc();
+        let f = Frequency::from_ghz(ghz);
+        let load = ServerLoad::mixed(Percent::new(cpu), wfm_share, Percent::new(mem), m.peak_read_bw());
+        let b = m.breakdown(f, &load);
+        let total = m.power_at(f, &load);
+        prop_assert!((b.total().as_watts() - total.as_watts()).abs() < 1e-9);
+        prop_assert!(b.cores.as_watts() >= 0.0);
+        prop_assert!(b.uncore.as_watts() > 0.0);
+    }
+
+    #[test]
+    fn wfm_never_increases_power(
+        ghz in 0.1f64..3.1,
+        cpu in 10.0f64..100.0,
+        wfm_share in 0.0f64..1.0,
+    ) {
+        // At a fixed CPU busy level, shifting busy cycles into the WFM
+        // state can only lower core power (24% discount).
+        let m = ServerPowerModel::ntc();
+        let f = Frequency::from_ghz(ghz);
+        let dry = m.power_at(f, &ServerLoad::cpu_bound(Percent::new(cpu)));
+        let wet_load = ServerLoad::mixed(Percent::new(cpu), wfm_share, Percent::ZERO, 0.0);
+        let wet = m.power_at(f, &wet_load);
+        prop_assert!(wet.as_watts() <= dry.as_watts() + 1e-9);
+    }
+
+    #[test]
+    fn required_servers_monotone_in_utilization(
+        u1 in 0.1f64..100.0,
+        u2 in 0.1f64..100.0,
+        level in 0usize..13,
+    ) {
+        let dc = DataCenterPowerModel::new(ServerPowerModel::ntc(), 80);
+        let levels = dc.server().dvfs_levels();
+        let f = levels[level.min(levels.len() - 1)];
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let n_lo = dc.required_servers(Percent::new(lo), f);
+        let n_hi = dc.required_servers(Percent::new(hi), f);
+        match (n_lo, n_hi) {
+            (Some(a), Some(b)) => prop_assert!(a <= b),
+            (None, Some(_)) => prop_assert!(false, "higher demand feasible but lower not"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn optimal_frequency_is_feasible_and_no_worse_than_fmax(u in 1.0f64..100.0) {
+        let dc = DataCenterPowerModel::new(ServerPowerModel::ntc(), 80);
+        let util = Percent::new(u);
+        let (f, p) = dc.optimal_frequency(util);
+        let at_fmax = dc
+            .worst_case_power(util, dc.server().fmax())
+            .expect("Fmax always feasible");
+        prop_assert!(dc.required_servers(util, f).is_some());
+        prop_assert!(p <= at_fmax);
+    }
+
+    #[test]
+    fn ep_index_in_unit_interval(level in 0usize..13) {
+        let m = ServerPowerModel::ntc();
+        let levels = m.dvfs_levels();
+        let f = levels[level.min(levels.len() - 1)];
+        let ep = proportionality::ep_index(&m, f, 25);
+        prop_assert!((0.0..=1.0).contains(&ep));
+    }
+
+    #[test]
+    fn static_power_knob_is_exact(extra in 0.0f64..60.0) {
+        let base = ServerPowerModel::ntc();
+        let bumped = ServerPowerModel::ntc()
+            .with_static_power(ntc_units::Power::from_watts(15.0 + extra));
+        let f = Frequency::from_ghz(1.9);
+        let d = bumped.power(f, Percent::FULL, Percent::ZERO).as_watts()
+            - base.power(f, Percent::FULL, Percent::ZERO).as_watts();
+        prop_assert!((d - extra).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Rolling and exponentially weighted statistics over time series.
+//!
+//! Used by trace analysis and by smoothing front-ends to the
+//! predictors: cloud utilization data carries sampling jitter that a
+//! short EWMA removes without disturbing the daily structure.
+
+use crate::TimeSeries;
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (1 = no smoothing).
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_trace::{rolling, TimeSeries};
+///
+/// let noisy = TimeSeries::from_values(vec![0.0, 10.0, 0.0, 10.0]);
+/// let smooth = rolling::ewma(&noisy, 0.5);
+/// assert!(smooth.peak() < 10.0);
+/// ```
+pub fn ewma(series: &TimeSeries, alpha: f64) -> TimeSeries {
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "EWMA smoothing factor must be in (0, 1], got {alpha}"
+    );
+    let mut state: Option<f64> = None;
+    series
+        .values()
+        .iter()
+        .map(|&v| {
+            let s = match state {
+                None => v,
+                Some(prev) => alpha * v + (1.0 - alpha) * prev,
+            };
+            state = Some(s);
+            s
+        })
+        .collect()
+}
+
+/// Centered-free rolling mean over a trailing window of `window`
+/// samples (shorter at the start).
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn rolling_mean(series: &TimeSeries, window: usize) -> TimeSeries {
+    assert!(window > 0, "window must be positive");
+    let v = series.values();
+    let mut sum = 0.0;
+    (0..v.len())
+        .map(|i| {
+            sum += v[i];
+            if i >= window {
+                sum -= v[i - window];
+            }
+            sum / window.min(i + 1) as f64
+        })
+        .collect()
+}
+
+/// Rolling maximum over a trailing window of `window` samples.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn rolling_max(series: &TimeSeries, window: usize) -> TimeSeries {
+    assert!(window > 0, "window must be positive");
+    let v = series.values();
+    (0..v.len())
+        .map(|i| {
+            let start = i.saturating_sub(window - 1);
+            v[start..=i].iter().copied().fold(f64::MIN, f64::max)
+        })
+        .collect()
+}
+
+/// Detects level shifts: sample indices where the trailing short-window
+/// mean deviates from the long-window mean by more than `threshold`.
+///
+/// This is the detector used to study the abrupt changes that drive the
+/// paper's Fig. 4 violations.
+///
+/// # Panics
+///
+/// Panics if either window is zero or `short >= long`.
+pub fn level_shifts(
+    series: &TimeSeries,
+    short: usize,
+    long: usize,
+    threshold: f64,
+) -> Vec<usize> {
+    assert!(short > 0 && long > 0, "windows must be positive");
+    assert!(short < long, "short window must be shorter than long");
+    let s = rolling_mean(series, short);
+    let l = rolling_mean(series, long);
+    (long..series.len())
+        .filter(|&i| (s.at(i) - l.at(i)).abs() > threshold)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(v: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(v.to_vec())
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let s = ewma(&TimeSeries::constant(50, 7.0), 0.3);
+        assert!(s.values().iter().all(|&v| (v - 7.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ewma_alpha_one_is_identity() {
+        let orig = ts(&[1.0, 5.0, 2.0]);
+        assert_eq!(ewma(&orig, 1.0), orig);
+    }
+
+    #[test]
+    fn rolling_mean_window_one_is_identity() {
+        let orig = ts(&[1.0, 5.0, 2.0]);
+        assert_eq!(rolling_mean(&orig, 1), orig);
+    }
+
+    #[test]
+    fn rolling_mean_known_values() {
+        let s = rolling_mean(&ts(&[2.0, 4.0, 6.0, 8.0]), 2);
+        assert_eq!(s.values(), &[2.0, 3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn rolling_max_tracks_peaks() {
+        let s = rolling_max(&ts(&[1.0, 9.0, 2.0, 3.0]), 2);
+        assert_eq!(s.values(), &[1.0, 9.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn shift_detector_fires_on_steps() {
+        let mut v = vec![10.0; 40];
+        v.extend(vec![30.0; 40]);
+        let hits = level_shifts(&ts(&v), 3, 12, 5.0);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().any(|&i| (40..55).contains(&i)));
+        // and stays quiet on the flat series
+        assert!(level_shifts(&TimeSeries::constant(80, 10.0), 3, 12, 5.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "(0, 1]")]
+    fn bad_alpha_rejected() {
+        let _ = ewma(&TimeSeries::constant(3, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Statistical primitives used by the allocation policies and the ARIMA
+//! predictor: moments, Pearson correlation (the φ similarity of Eq. 2) and
+//! Euclidean distance (the Dist term of Eq. 2).
+
+/// Arithmetic mean; 0.0 for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ntc_trace::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; 0.0 for slices with fewer than two samples.
+///
+/// # Examples
+///
+/// ```
+/// assert!((ntc_trace::stats::variance(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+///
+/// # Examples
+///
+/// ```
+/// assert!((ntc_trace::stats::std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Population covariance of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "covariance requires equal lengths: {} vs {}",
+        xs.len(),
+        ys.len()
+    );
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / xs.len() as f64
+}
+
+/// Pearson correlation coefficient in `[-1, 1]`.
+///
+/// Returns 0.0 when either input is (numerically) constant — a flat trace
+/// carries no shape information, so the policies treat it as uncorrelated
+/// rather than propagating a NaN.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let up = [1.0, 2.0, 3.0];
+/// let down = [3.0, 2.0, 1.0];
+/// assert!((ntc_trace::stats::pearson_correlation(&up, &down) + 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    let cov = covariance(xs, ys);
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx < 1e-12 || sy < 1e-12 {
+        return 0.0;
+    }
+    (cov / (sx * sy)).clamp(-1.0, 1.0)
+}
+
+/// Euclidean (L2) distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ntc_trace::stats::euclidean_distance(&[0.0, 3.0], &[4.0, 3.0]), 4.0);
+/// ```
+pub fn euclidean_distance(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "distance requires equal lengths: {} vs {}",
+        xs.len(),
+        ys.len()
+    );
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// The `p`-quantile (0 ≤ p ≤ 1) using nearest-rank on a sorted copy;
+/// 0.0 for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]` or any value is NaN.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 9.0, 5.0];
+/// assert_eq!(ntc_trace::stats::quantile(&xs, 0.5), 5.0);
+/// ```
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "quantile level must be in [0,1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(covariance(&[], &[]), 0.0);
+        assert_eq!(pearson_correlation(&[5.0, 5.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn correlation_signs() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y_pos = [10.0, 20.0, 30.0, 40.0];
+        let y_neg = [40.0, 30.0, 20.0, 10.0];
+        assert!((pearson_correlation(&x, &y_pos) - 1.0).abs() < 1e-12);
+        assert!((pearson_correlation(&x, &y_neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_is_scale_invariant() {
+        let x = [1.0, 5.0, 2.0, 8.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 7.0).collect();
+        assert!((pearson_correlation(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_triangle_example() {
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+        assert_eq!(euclidean_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.5), 5.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn covariance_length_mismatch() {
+        let _ = covariance(&[1.0], &[1.0, 2.0]);
+    }
+}

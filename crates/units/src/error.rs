@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a unit value is constructed outside its valid range.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_units::Percent;
+///
+/// let err = Percent::try_new(120.0).unwrap_err();
+/// assert!(err.to_string().contains("percent"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitRangeError {
+    quantity: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+}
+
+impl UnitRangeError {
+    pub(crate) fn new(quantity: &'static str, value: f64, min: f64, max: f64) -> Self {
+        Self {
+            quantity,
+            value,
+            min,
+            max,
+        }
+    }
+
+    /// The name of the quantity that was out of range (e.g. `"percent"`).
+    pub fn quantity(&self) -> &'static str {
+        self.quantity
+    }
+
+    /// The offending value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The inclusive lower bound of the valid range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// The inclusive upper bound of the valid range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl fmt::Display for UnitRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} value {} outside valid range [{}, {}]",
+            self.quantity, self.value, self.min, self.max
+        )
+    }
+}
+
+impl Error for UnitRangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_range() {
+        let e = UnitRangeError::new("voltage", -1.0, 0.0, 2.0);
+        let s = e.to_string();
+        assert!(s.contains("voltage"));
+        assert!(s.contains("-1"));
+        assert!(s.contains("[0, 2]"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = UnitRangeError::new("percent", 120.0, 0.0, 100.0);
+        assert_eq!(e.quantity(), "percent");
+        assert_eq!(e.value(), 120.0);
+        assert_eq!(e.min(), 0.0);
+        assert_eq!(e.max(), 100.0);
+    }
+}

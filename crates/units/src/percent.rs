@@ -1,0 +1,207 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::UnitRangeError;
+
+/// A utilization percentage.
+///
+/// CPU and memory utilizations in the paper are expressed as percentages of
+/// one server's capacity. A *single* sample is bounded by 0–100%, but
+/// aggregates (the sum of co-located VM demands, or a whole data center's
+/// requirement) may exceed 100%, so `Percent` itself only forbids negative
+/// and non-finite values; use [`Percent::try_new`] when the 0–100 bound must
+/// hold and [`Percent::is_saturated`] to detect overcommit.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_units::Percent;
+///
+/// let a = Percent::new(35.0);
+/// let b = Percent::new(80.0);
+/// assert!((a + b).is_saturated());       // 115% — an overutilized server
+/// assert!(Percent::try_new(115.0).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Percent(f64);
+
+impl Percent {
+    /// Zero percent.
+    pub const ZERO: Percent = Percent(0.0);
+    /// One hundred percent — a fully used resource.
+    pub const FULL: Percent = Percent(100.0);
+
+    /// Creates a percentage. Values above 100 are allowed (aggregates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or not finite.
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite() && p >= 0.0,
+            "percent must be finite and non-negative, got {p}"
+        );
+        Self(p)
+    }
+
+    /// Creates a percentage validated to lie in `[0, 100]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnitRangeError`] if `p` is outside `[0, 100]` or not
+    /// finite.
+    pub fn try_new(p: f64) -> Result<Self, UnitRangeError> {
+        if !p.is_finite() || !(0.0..=100.0).contains(&p) {
+            return Err(UnitRangeError::new("percent", p, 0.0, 100.0));
+        }
+        Ok(Self(p))
+    }
+
+    /// Creates a percentage from a fraction in `[0, 1]` scale (0.35 → 35%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frac` is negative or not finite.
+    pub fn from_fraction(frac: f64) -> Self {
+        Self::new(frac * 100.0)
+    }
+
+    /// The value as a percentage number (35.0 for 35%).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// The value as a fraction (0.35 for 35%).
+    pub fn as_fraction(self) -> f64 {
+        self.0 / 100.0
+    }
+
+    /// `true` when the value is at or above 100% (resource saturated or
+    /// overcommitted).
+    pub fn is_saturated(self) -> bool {
+        self.0 >= 100.0
+    }
+
+    /// Clamps into `[0, 100]`.
+    pub fn clamp_full(self) -> Self {
+        Self(self.0.min(100.0))
+    }
+
+    /// Returns the smaller of two percentages.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two percentages.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Percent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}%", self.0)
+    }
+}
+
+impl Add for Percent {
+    type Output = Percent;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Percent {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Percent {
+    type Output = Percent;
+    fn sub(self, rhs: Self) -> Self {
+        Self((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for Percent {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 = (self.0 - rhs.0).max(0.0);
+    }
+}
+
+impl Mul<f64> for Percent {
+    type Output = Percent;
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.0 * rhs)
+    }
+}
+
+impl Div<Percent> for Percent {
+    type Output = f64;
+    fn div(self, rhs: Percent) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Percent {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fraction_round_trip() {
+        let p = Percent::from_fraction(0.43);
+        assert!((p.value() - 43.0).abs() < 1e-12);
+        assert!((p.as_fraction() - 0.43).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_may_exceed_100() {
+        let agg: Percent = vec![Percent::new(60.0); 3].into_iter().sum();
+        assert_eq!(agg.value(), 180.0);
+        assert!(agg.is_saturated());
+        assert_eq!(agg.clamp_full(), Percent::FULL);
+    }
+
+    #[test]
+    fn try_new_validates() {
+        assert!(Percent::try_new(100.0).is_ok());
+        assert!(Percent::try_new(100.01).is_err());
+        assert!(Percent::try_new(-0.01).is_err());
+        assert!(Percent::try_new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn saturating_sub() {
+        let mut p = Percent::new(10.0);
+        p -= Percent::new(25.0);
+        assert_eq!(p, Percent::ZERO);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Percent::new(43.25).to_string(), "43.2%");
+    }
+
+    #[test]
+    fn ratio() {
+        assert!((Percent::new(50.0) / Percent::FULL - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,41 @@
+//! Cloud workload substrate: the VM fleet and its utilization traces.
+//!
+//! The paper drives its data-center evaluation with one week of Google
+//! Cluster traces covering 600+ VMs sampled every 5 minutes, running
+//! synthetically generated banking batch jobs. Since the actual traces
+//! (and the banking jobs) are not redistributable, this crate synthesizes
+//! traces with the statistical structure every downstream component
+//! relies on:
+//!
+//! * **daily periodicity** — what the ARIMA predictor exploits;
+//! * **cross-VM CPU-load correlation** — what EPACT and COAT exploit
+//!   (correlated VMs peak together and must not be co-located);
+//! * **the paper's memory classes** — low-mem (70 MB / 7%), mid-mem
+//!   (255 MB / 25%) and high-mem (435 MB / 43%) footprints on 1 GB VMs;
+//! * **abrupt load changes** — the misprediction source behind the SLA
+//!   violations of Fig. 4.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_workload::{ClusterTraceGenerator, MemClass};
+//!
+//! let fleet = ClusterTraceGenerator::google_like(60, 42).generate();
+//! assert_eq!(fleet.len(), 60);
+//! let vm = &fleet.vms()[0];
+//! assert!(vm.cpu.peak() <= 100.0 / 16.0 + 1e-9); // one core of a 16-core server
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod csv;
+mod fleet;
+pub mod stats;
+mod synth;
+mod vm;
+
+pub use fleet::Fleet;
+pub use stats::FleetStats;
+pub use synth::ClusterTraceGenerator;
+pub use vm::{MemClass, Vm, VmId};

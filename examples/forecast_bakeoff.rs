@@ -1,0 +1,79 @@
+//! Forecast bake-off: ARIMA (the paper's predictor) vs Holt–Winters vs
+//! seasonal-naive on generated cloud traces, plus the downstream effect
+//! on EPACT's violations and energy.
+//!
+//! Run with: `cargo run --release --example forecast_bakeoff [num_vms]`
+
+use ntc_dc::datacenter::WeekSim;
+use ntc_dc::forecast::{metrics, ArimaPredictor, HoltWinters, Predictor, SeasonalNaive};
+use ntc_dc::policy::Epact;
+use ntc_dc::power::ServerPowerModel;
+use ntc_dc::workload::ClusterTraceGenerator;
+
+fn main() {
+    let num_vms: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+
+    let fleet = ClusterTraceGenerator::google_like(num_vms, 2018).generate();
+    let per_day = fleet.grid().samples_per_day();
+    let split = fleet.grid().len() - per_day;
+
+    let predictors: Vec<(&str, Box<dyn Predictor>)> = vec![
+        ("ARIMA(2,0,1)+daily", Box::new(ArimaPredictor::daily(per_day))),
+        ("Holt-Winters", Box::new(HoltWinters::daily(per_day))),
+        ("seasonal-naive", Box::new(SeasonalNaive::new(per_day))),
+    ];
+
+    // --- pure forecast quality on the last day ---
+    println!("=== Day-ahead CPU forecast quality ({num_vms} VMs) ===");
+    println!("{:<22} {:>10} {:>10} {:>10}", "predictor", "RMSE", "MAE", "sMAPE %");
+    for (name, p) in &predictors {
+        let mut rmse = 0.0;
+        let mut mae = 0.0;
+        let mut smape = 0.0;
+        for vm in fleet.vms() {
+            let hist = vm.cpu.window(0..split);
+            let actual = vm.cpu.window(split..split + per_day);
+            let fc = p.forecast(&hist, per_day);
+            rmse += metrics::rmse(fc.values(), actual.values());
+            mae += metrics::mae(fc.values(), actual.values());
+            smape += metrics::smape(fc.values(), actual.values());
+        }
+        let n = fleet.len() as f64;
+        println!(
+            "{:<22} {:>10.3} {:>10.3} {:>10.1}",
+            name,
+            rmse / n,
+            mae / n,
+            smape / n
+        );
+    }
+
+    // --- downstream effect under EPACT ---
+    println!("\n=== EPACT outcomes per predictor (one week) ===");
+    println!(
+        "{:<22} {:>12} {:>16} {:>14}",
+        "predictor", "violations", "energy (MJ)", "mean servers"
+    );
+    let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+    for (name, p) in &predictors {
+        let out = sim.run(&Epact::new(), p.as_ref());
+        println!(
+            "{:<22} {:>12} {:>16.1} {:>14.1}",
+            name,
+            out.total_violations(),
+            out.total_energy().as_megajoules(),
+            out.mean_active_servers()
+        );
+    }
+    let oracle = sim.run_with_oracle(&Epact::new());
+    println!(
+        "{:<22} {:>12} {:>16.1} {:>14.1}",
+        "oracle (actuals)",
+        oracle.total_violations(),
+        oracle.total_energy().as_megajoules(),
+        oracle.mean_active_servers()
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build the NTC server power model, sweep its DVFS levels,
+//! and see why "consolidate at Fmax" stops being the right answer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ntc_dc::power::{DataCenterPowerModel, ServerLoad, ServerPowerModel};
+use ntc_dc::power::proportionality::{dynamic_range, ep_index};
+use ntc_dc::units::Percent;
+
+fn main() {
+    let server = ServerPowerModel::ntc();
+
+    println!("NTC server (16x Cortex-A57, 28nm FD-SOI, 16MB LLC, 16GB DDR4)");
+    println!(
+        "frequency range: {} - {}\n",
+        server.fmin(),
+        server.fmax()
+    );
+
+    println!("{:<10} {:>9} {:>9} {:>9} {:>9} {:>10}", "freq", "cores W", "LLC W", "uncore W", "DRAM W", "total W");
+    for f in server.dvfs_levels() {
+        let load = ServerLoad::mixed(Percent::FULL, 0.15, Percent::new(25.0), server.peak_read_bw());
+        let b = server.breakdown(f, &load);
+        println!(
+            "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",
+            f.to_string(),
+            b.cores.as_watts(),
+            b.llc.as_watts(),
+            b.uncore.as_watts(),
+            b.dram.as_watts(),
+            b.total().as_watts()
+        );
+    }
+
+    println!(
+        "\nenergy proportionality index @ Fmax: {:.3} (conventional: {:.3})",
+        ep_index(&server, server.fmax(), 50),
+        {
+            let conv = ServerPowerModel::conventional_e5_2620();
+            ep_index(&conv, conv.fmax(), 50)
+        }
+    );
+    println!(
+        "dynamic range (peak/idle): {:.2}x",
+        dynamic_range(&server, server.fmax())
+    );
+
+    let dc = DataCenterPowerModel::new(server, 80);
+    let (fopt, p) = dc.optimal_frequency(Percent::new(20.0));
+    println!(
+        "\ndata-center optimum at 20% utilization: run servers at {fopt} ({} total)",
+        p
+    );
+    println!("=> not Fmax: consolidation-at-top-speed wastes energy on NTC hardware.");
+}

@@ -1,0 +1,71 @@
+//! Server-level study: Table I (cross-platform execution times), Fig. 2
+//! (QoS degradation across DVFS levels) and Fig. 3 (efficiency in
+//! BUIPS/W) for the three banking workload classes.
+//!
+//! Run with: `cargo run --release --example server_qos_sweep`
+
+use ntc_dc::archsim::qos::QosBaseline;
+use ntc_dc::archsim::{efficiency, Kernel, Platform, ServerSim};
+use ntc_dc::datacenter::experiments;
+use ntc_dc::power::ServerPowerModel;
+
+fn main() {
+    // --- Table I ---
+    println!("=== Table I: QoS analysis across platforms ===");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12} {:>12}",
+        "workload", "x86@2.66", "QoS limit", "Cavium@2", "NTC@2"
+    );
+    for r in experiments::table1() {
+        println!(
+            "{:<10} {:>11.3}s {:>13.3}s {:>11.3}s {:>11.3}s",
+            r.workload, r.x86_secs, r.qos_limit_secs, r.cavium_secs, r.ntc_secs
+        );
+    }
+
+    // --- Fig. 2 ---
+    let sim = ServerSim::new(Platform::ntc_server());
+    let baseline = QosBaseline::paper_table1();
+    let freqs = experiments::fig2_frequencies();
+    println!("\n=== Fig. 2: normalized execution time (QoS limit = 1.0) ===");
+    print!("{:<10}", "workload");
+    for f in &freqs {
+        print!(" {:>7.1}G", f.as_ghz());
+    }
+    println!();
+    for k in Kernel::paper_classes() {
+        print!("{:<10}", k.name());
+        for &f in &freqs {
+            print!(" {:>8.2}", baseline.normalized_time(&sim, &k, f));
+        }
+        println!();
+    }
+    for k in Kernel::paper_classes() {
+        match baseline.min_qos_frequency(&sim, &k, &freqs) {
+            Some(f) => println!("{}: lowest QoS-safe frequency {f}", k.name()),
+            None => println!("{}: QoS unreachable on this grid", k.name()),
+        }
+    }
+
+    // --- Fig. 3 ---
+    let model = ServerPowerModel::ntc();
+    println!("\n=== Fig. 3: efficiency (BUIPS/W) ===");
+    print!("{:<10}", "workload");
+    for f in &freqs {
+        print!(" {:>7.1}G", f.as_ghz());
+    }
+    println!();
+    for k in Kernel::paper_classes() {
+        print!("{:<10}", k.name());
+        for &f in &freqs {
+            print!(
+                " {:>8.3}",
+                efficiency::buips_per_watt(&sim, &model, &k, f)
+            );
+        }
+        println!();
+        let (fpk, epk) =
+            efficiency::optimal_efficiency_frequency(&sim, &model, &k, &freqs);
+        println!("  -> peak {epk:.3} BUIPS/W at {fpk}");
+    }
+}

@@ -1,0 +1,40 @@
+//! # ntc-dc — Consolidating or Not?
+//!
+//! A reproduction of *"Energy Proportionality in Near-Threshold Computing
+//! Servers and Cloud Data Centers: Consolidating or Not?"* (Pahlevan et
+//! al., DATE 2018) as a Rust workspace. This facade crate re-exports every
+//! sub-crate under a stable namespace:
+//!
+//! * [`units`] — dimensional newtypes ([`ntc_units`])
+//! * [`trace`] — time-series substrate ([`ntc_trace`])
+//! * [`power`] — FD-SOI NTC and conventional server power models
+//!   ([`ntc_power`])
+//! * [`archsim`] — interval-model multicore server simulator
+//!   ([`ntc_archsim`])
+//! * [`workload`] — Google-cluster-like VM trace synthesis
+//!   ([`ntc_workload`])
+//! * [`forecast`] — ARIMA prediction ([`ntc_forecast`])
+//! * [`policy`] — EPACT and the consolidation baselines ([`ntc_core`])
+//! * [`datacenter`] — week-long data-center simulation ([`ntc_datacenter`])
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ntc_dc::power::ServerPowerModel;
+//! use ntc_dc::units::{Frequency, Percent};
+//!
+//! let server = ServerPowerModel::ntc();
+//! let p = server.power(Frequency::from_ghz(1.9), Percent::FULL, Percent::new(10.0));
+//! assert!(p.as_watts() > 20.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ntc_archsim as archsim;
+pub use ntc_core as policy;
+pub use ntc_datacenter as datacenter;
+pub use ntc_forecast as forecast;
+pub use ntc_power as power;
+pub use ntc_trace as trace;
+pub use ntc_units as units;
+pub use ntc_workload as workload;

@@ -1,0 +1,137 @@
+//! End-to-end pipeline tests: generator → predictor → policy →
+//! data-center replay, exercising the crates together the way the
+//! examples do.
+
+use ntc_dc::forecast::{metrics, ArimaPredictor, Predictor, SeasonalNaive};
+use ntc_dc::policy::{AllocationPolicy, Coat, CoatOpt, Epact, SlotContext};
+use ntc_dc::power::ServerPowerModel;
+use ntc_dc::trace::TimeSeries;
+use ntc_dc::units::Energy;
+use ntc_dc::workload::ClusterTraceGenerator;
+use ntc_dc::datacenter::WeekSim;
+
+#[test]
+fn arima_beats_naive_on_generated_traces() {
+    // The generated traces have daily structure plus AR noise: ARIMA
+    // should (at minimum) not lose badly to seasonal naive on RMSE.
+    let fleet = ClusterTraceGenerator::google_like(12, 5)
+        .with_shift_probability(0.02)
+        .generate();
+    let per_day = fleet.grid().samples_per_day();
+    let arima = ArimaPredictor::daily(per_day);
+    let naive = SeasonalNaive::new(per_day);
+    let split = fleet.grid().len() - per_day;
+
+    let mut rmse_arima = 0.0;
+    let mut rmse_naive = 0.0;
+    for vm in fleet.vms() {
+        let hist = vm.cpu.window(0..split);
+        let actual = vm.cpu.window(split..split + per_day);
+        let fa = arima.forecast(&hist, per_day);
+        let fn_ = naive.forecast(&hist, per_day);
+        rmse_arima += metrics::rmse(fa.values(), actual.values());
+        rmse_naive += metrics::rmse(fn_.values(), actual.values());
+    }
+    assert!(
+        rmse_arima < 1.5 * rmse_naive,
+        "ARIMA must be competitive: {rmse_arima:.3} vs naive {rmse_naive:.3}"
+    );
+}
+
+#[test]
+fn forecast_errors_only_cause_bounded_violations() {
+    // With abrupt shifts cranked up, EPACT should still keep violations
+    // far below the consolidation baselines.
+    let fleet = ClusterTraceGenerator::google_like(60, 321)
+        .with_shift_probability(0.5)
+        .generate();
+    let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+    let predictor = ArimaPredictor::daily(fleet.grid().samples_per_day());
+    let epact = sim.run(&Epact::new(), &predictor);
+    let coat = sim.run(&Coat::new(), &predictor);
+    assert!(
+        epact.total_violations() < coat.total_violations(),
+        "EPACT {} vs COAT {}",
+        epact.total_violations(),
+        coat.total_violations()
+    );
+}
+
+#[test]
+fn all_policies_place_every_vm() {
+    let fleet = ClusterTraceGenerator::google_like(40, 11).generate();
+    let server = ServerPowerModel::ntc();
+    let cpu: Vec<TimeSeries> = fleet.vms().iter().map(|v| v.cpu.window(0..12)).collect();
+    let mem: Vec<TimeSeries> = fleet.vms().iter().map(|v| v.mem.window(0..12)).collect();
+    let ctx = SlotContext::new(&cpu, &mem, &server, 600);
+    let policies: Vec<Box<dyn AllocationPolicy>> = vec![
+        Box::new(Epact::new()),
+        Box::new(Coat::new()),
+        Box::new(CoatOpt::new()),
+    ];
+    for p in &policies {
+        let plan = p.allocate(&ctx);
+        assert_eq!(plan.assignments().len(), 40, "{}", p.name());
+        let placed: usize = plan.vms_per_server().iter().map(|v| v.len()).sum();
+        assert_eq!(placed, 40, "{} must place every VM exactly once", p.name());
+        // and the packing must respect its own caps
+        for agg in plan.aggregate_per_server(&cpu) {
+            assert!(
+                !agg.exceeds(plan.cap_cpu(), 1e-6),
+                "{} exceeds its CPU cap",
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn oracle_energy_is_a_lower_bound_for_arima_energy() {
+    // Imperfect predictions can only cost energy (extra servers or
+    // emergency upscaling), never gain it — modulo small packing
+    // differences, so allow 5% slack.
+    let fleet = ClusterTraceGenerator::google_like(48, 777).generate();
+    let sim = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+    let predictor = ArimaPredictor::daily(fleet.grid().samples_per_day());
+    let with_arima = sim.run(&Epact::new(), &predictor);
+    let with_oracle = sim.run_with_oracle(&Epact::new());
+    assert!(
+        with_oracle.total_energy().as_joules()
+            <= with_arima.total_energy().as_joules() * 1.05,
+        "oracle {} MJ vs ARIMA {} MJ",
+        with_oracle.total_energy().as_megajoules(),
+        with_arima.total_energy().as_megajoules()
+    );
+}
+
+#[test]
+fn energy_scales_roughly_with_fleet_size() {
+    let small = ClusterTraceGenerator::google_like(24, 31).generate();
+    let large = ClusterTraceGenerator::google_like(96, 31).generate();
+    let e = |fleet: &ntc_dc::workload::Fleet| -> Energy {
+        WeekSim::new(fleet, ServerPowerModel::ntc(), 600)
+            .run_with_oracle(&Epact::new())
+            .total_energy()
+    };
+    let e_small = e(&small).as_joules();
+    let e_large = e(&large).as_joules();
+    let ratio = e_large / e_small;
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "4x the VMs should cost roughly 2-8x the energy, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn static_power_increase_raises_everyones_energy() {
+    let fleet = ClusterTraceGenerator::google_like(36, 13).generate();
+    let lean = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+    let heavy_model =
+        ServerPowerModel::ntc().with_static_power(ntc_dc::units::Power::from_watts(45.0));
+    let heavy = WeekSim::new(&fleet, heavy_model, 600);
+    for policy in [&Epact::new() as &dyn AllocationPolicy] {
+        let e_lean = lean.run_with_oracle(policy).total_energy();
+        let e_heavy = heavy.run_with_oracle(policy).total_energy();
+        assert!(e_heavy > e_lean, "{}", policy.name());
+    }
+}

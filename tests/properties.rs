@@ -1,0 +1,121 @@
+//! Cross-crate property-based tests: allocation-policy and power-model
+//! invariants over randomized fleets and loads.
+
+use ntc_dc::policy::{AllocationPolicy, Coat, CoatOpt, Epact, SlotContext};
+use ntc_dc::power::ServerPowerModel;
+use ntc_dc::trace::TimeSeries;
+use ntc_dc::units::{Frequency, Percent};
+use proptest::prelude::*;
+
+fn vm_series(n_vms: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..6.25, len), n_vms)
+}
+
+fn mem_series(n_vms: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.1f64..3.0, len), n_vms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_policy_places_all_vms_and_respects_caps(
+        cpu in vm_series(12, 6),
+        mem in mem_series(12, 6),
+    ) {
+        let server = ServerPowerModel::ntc();
+        let cpu: Vec<TimeSeries> = cpu.into_iter().map(TimeSeries::from_values).collect();
+        let mem: Vec<TimeSeries> = mem.into_iter().map(TimeSeries::from_values).collect();
+        let ctx = SlotContext::new(&cpu, &mem, &server, 600);
+        for policy in [
+            &Epact::new() as &dyn AllocationPolicy,
+            &Coat::new(),
+            &CoatOpt::new(),
+        ] {
+            let plan = policy.allocate(&ctx);
+            prop_assert_eq!(plan.assignments().len(), 12);
+            // every VM assigned to a live server
+            prop_assert!(plan.assignments().iter().all(|&s| s < plan.num_servers()));
+            // the packing never exceeds the policy's own CPU cap
+            // (single VMs above the cap are impossible here: max 6.25%)
+            for agg in plan.aggregate_per_server(&cpu) {
+                prop_assert!(!agg.exceeds(plan.cap_cpu(), 1e-6));
+            }
+            // frequency plan is internally consistent
+            prop_assert!(plan.planned_freq() <= plan.dvfs_ceiling());
+            prop_assert!(plan.dvfs_floor() <= plan.planned_freq());
+        }
+    }
+
+    #[test]
+    fn epact_never_uses_more_servers_than_vms(
+        cpu in vm_series(10, 4),
+        mem in mem_series(10, 4),
+    ) {
+        let server = ServerPowerModel::ntc();
+        let cpu: Vec<TimeSeries> = cpu.into_iter().map(TimeSeries::from_values).collect();
+        let mem: Vec<TimeSeries> = mem.into_iter().map(TimeSeries::from_values).collect();
+        let ctx = SlotContext::new(&cpu, &mem, &server, 600);
+        let plan = Epact::new().allocate(&ctx);
+        prop_assert!(plan.num_servers() <= 10);
+    }
+
+    #[test]
+    fn server_power_is_monotone_in_utilization(
+        u1 in 0.0f64..100.0,
+        u2 in 0.0f64..100.0,
+        ghz in 0.1f64..3.1,
+    ) {
+        let server = ServerPowerModel::ntc();
+        let f = Frequency::from_ghz(ghz);
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        let p_lo = server.power(f, Percent::new(lo), Percent::ZERO);
+        let p_hi = server.power(f, Percent::new(hi), Percent::ZERO);
+        prop_assert!(p_lo <= p_hi, "power must grow with load: {p_lo} vs {p_hi}");
+    }
+
+    #[test]
+    fn server_power_is_monotone_in_frequency_at_full_load(
+        g1 in 0.1f64..3.1,
+        g2 in 0.1f64..3.1,
+    ) {
+        let server = ServerPowerModel::ntc();
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        let p_lo = server.power(Frequency::from_ghz(lo), Percent::FULL, Percent::ZERO);
+        let p_hi = server.power(Frequency::from_ghz(hi), Percent::FULL, Percent::ZERO);
+        prop_assert!(p_lo <= p_hi);
+    }
+
+    #[test]
+    fn power_breakdown_components_are_finite_and_positive(
+        ghz in 0.1f64..3.1,
+        cpu in 0.0f64..100.0,
+        mem in 0.0f64..100.0,
+    ) {
+        let server = ServerPowerModel::ntc();
+        let f = Frequency::from_ghz(ghz);
+        let p = server.power(f, Percent::new(cpu), Percent::new(mem));
+        prop_assert!(p.as_watts().is_finite());
+        prop_assert!(p.as_watts() > 20.0, "uncore floor keeps power above ~27 W");
+        prop_assert!(p.as_watts() < 200.0, "a single server stays under 200 W");
+    }
+
+    #[test]
+    fn archsim_exec_time_is_monotone_nonincreasing_in_frequency(
+        g1 in 0.2f64..2.5,
+        g2 in 0.2f64..2.5,
+    ) {
+        use ntc_dc::archsim::{Kernel, Platform, ServerSim};
+        let sim = ServerSim::new(Platform::ntc_server());
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        for k in Kernel::paper_classes() {
+            let t_lo = sim.run(&k, Frequency::from_ghz(lo)).exec_time;
+            let t_hi = sim.run(&k, Frequency::from_ghz(hi)).exec_time;
+            prop_assert!(
+                t_hi.as_secs() <= t_lo.as_secs() * (1.0 + 1e-9),
+                "{}: higher frequency must not be slower",
+                k.name()
+            );
+        }
+    }
+}
