@@ -34,8 +34,16 @@ pub fn table1_calibration() -> Vec<CalibrationCell> {
             Frequency::from_ghz(2.66),
             [0.437, 1.564, 3.455],
         ),
-        ("Cavium ThunderX", Frequency::from_ghz(2.0), [0.733, 5.035, 11.943]),
-        ("NTC server", Frequency::from_ghz(2.0), [0.582, 2.926, 6.765]),
+        (
+            "Cavium ThunderX",
+            Frequency::from_ghz(2.0),
+            [0.733, 5.035, 11.943],
+        ),
+        (
+            "NTC server",
+            Frequency::from_ghz(2.0),
+            [0.582, 2.926, 6.765],
+        ),
     ];
     let platforms = [
         Platform::xeon_x5650(),

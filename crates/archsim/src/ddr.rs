@@ -372,7 +372,9 @@ mod tests {
         let mut addr = 12345u64;
         for i in 0..512u64 {
             // pseudo-random walk, sparse in time (idle queue)
-            addr = addr.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            addr = addr
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ctrl.access(addr % (1 << 30), i as f64 * 200.0);
         }
         let lat = ctrl.stats().mean_latency_ns();

@@ -120,11 +120,7 @@ impl DetailedSim {
         let mut hierarchy = Hierarchy::new(
             crate::cache::CacheConfig::ntc_l1d(),
             crate::cache::CacheConfig::ntc_l2(),
-            crate::cache::CacheConfig::new(
-                self.platform.llc_share_per_core(),
-                16,
-                64,
-            ),
+            crate::cache::CacheConfig::new(self.platform.llc_share_per_core(), 16, 64),
         );
         let mut ddr = DdrController::new(self.ddr_timing(), 16);
 
@@ -228,8 +224,7 @@ mod tests {
         let int = ServerSim::new(Platform::ntc_server());
         let t_det_1 = det.run(&Kernel::low_mem(), Frequency::from_ghz(1.0));
         let t_det_2 = det.run(&Kernel::low_mem(), Frequency::from_ghz(2.0));
-        let r_det = t_det_1.projected_exec_time.as_secs()
-            / t_det_2.projected_exec_time.as_secs();
+        let r_det = t_det_1.projected_exec_time.as_secs() / t_det_2.projected_exec_time.as_secs();
         let r_int = int
             .run(&Kernel::low_mem(), Frequency::from_ghz(1.0))
             .exec_time

@@ -73,10 +73,7 @@ impl MemoryParams {
     /// Queue utilization ρ for a given aggregate demand, clamped just
     /// below 1.
     pub fn utilization(&self, demand_bytes_per_sec: f64) -> f64 {
-        assert!(
-            demand_bytes_per_sec >= 0.0,
-            "demand must be non-negative"
-        );
+        assert!(demand_bytes_per_sec >= 0.0, "demand must be non-negative");
         (demand_bytes_per_sec / self.peak_bandwidth).min(0.999)
     }
 

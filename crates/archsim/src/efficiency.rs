@@ -134,8 +134,7 @@ mod tests {
         let sim = ServerSim::new(Platform::ntc_server());
         let model = ServerPowerModel::ntc();
         let (f_low, _) = optimal_efficiency_frequency(&sim, &model, &Kernel::low_mem(), &sweep());
-        let (f_high, _) =
-            optimal_efficiency_frequency(&sim, &model, &Kernel::high_mem(), &sweep());
+        let (f_high, _) = optimal_efficiency_frequency(&sim, &model, &Kernel::high_mem(), &sweep());
         assert!(
             f_high <= f_low,
             "high-mem optimum ({f_high}) must not exceed low-mem optimum ({f_low})"

@@ -71,18 +71,39 @@ impl Kernel {
     /// The *low-mem* class: 70 MB average footprint (7% of a 1 GB VM),
     /// CPU-bound.
     pub fn low_mem() -> Self {
-        Self::new("low-mem", 1_850_000_000, 5.0, 0.3, MemBytes::from_mib(70), 0.25)
+        Self::new(
+            "low-mem",
+            1_850_000_000,
+            5.0,
+            0.3,
+            MemBytes::from_mib(70),
+            0.25,
+        )
     }
 
     /// The *mid-mem* class: 255 MB average footprint (25%).
     pub fn mid_mem() -> Self {
-        Self::new("mid-mem", 3_000_000_000, 60.0, 12.0, MemBytes::from_mib(255), 0.3)
+        Self::new(
+            "mid-mem",
+            3_000_000_000,
+            60.0,
+            12.0,
+            MemBytes::from_mib(255),
+            0.3,
+        )
     }
 
     /// The *high-mem* class: 435 MB average footprint (43%),
     /// bandwidth-hungry.
     pub fn high_mem() -> Self {
-        Self::new("high-mem", 4_000_000_000, 80.0, 22.0, MemBytes::from_mib(435), 0.3)
+        Self::new(
+            "high-mem",
+            4_000_000_000,
+            80.0,
+            22.0,
+            MemBytes::from_mib(435),
+            0.3,
+        )
     }
 
     /// All three paper workload classes, in ascending memory intensity.

@@ -45,8 +45,8 @@ pub mod detailed;
 mod dramsim;
 pub mod efficiency;
 mod kernel;
-mod platform;
 pub mod pipeline;
+mod platform;
 pub mod qos;
 mod sim;
 pub mod stream;

@@ -118,10 +118,7 @@ impl Pipeline {
             config.rob >= config.width,
             "ROB must hold at least one dispatch group"
         );
-        assert!(
-            config.max_outstanding_loads > 0,
-            "need at least one MSHR"
-        );
+        assert!(config.max_outstanding_loads > 0, "need at least one MSHR");
         Self { config }
     }
 
@@ -159,8 +156,7 @@ impl Pipeline {
                         window.push_back(cycle + 1);
                     }
                     Uop::Load { latency } => {
-                        if outstanding_loads.len() as u32 >= self.config.max_outstanding_loads
-                        {
+                        if outstanding_loads.len() as u32 >= self.config.max_outstanding_loads {
                             break; // structural stall: MSHRs full
                         }
                         let done = cycle + u64::from(latency);
@@ -210,7 +206,10 @@ pub fn synth_stream(
     miss_latency: u32,
     seed: u64,
 ) -> Vec<Uop> {
-    assert!((0.0..=1.0).contains(&load_fraction), "load fraction in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&load_fraction),
+        "load fraction in [0,1]"
+    );
     assert!((0.0..=1.0).contains(&miss_rate), "miss rate in [0,1]");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
@@ -282,8 +281,7 @@ mod tests {
             .count() as f64;
         let out = Pipeline::new(PipelineConfig::cortex_a57()).run(&stream);
         let realized_mlp = out.peak_outstanding_loads as f64;
-        let interval_cycles =
-            n as f64 / 3.0 + misses * f64::from(miss_latency) / realized_mlp;
+        let interval_cycles = n as f64 / 3.0 + misses * f64::from(miss_latency) / realized_mlp;
         let ratio = out.cycles as f64 / interval_cycles;
         assert!(
             (0.4..=2.5).contains(&ratio),

@@ -106,9 +106,7 @@ impl QosBaseline {
     ) -> Option<Frequency> {
         let mut sorted = levels.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("frequencies are finite"));
-        sorted
-            .into_iter()
-            .find(|&f| self.meets_qos(sim, kernel, f))
+        sorted.into_iter().find(|&f| self.meets_qos(sim, kernel, f))
     }
 }
 

@@ -226,8 +226,7 @@ mod tests {
     fn uips_consistency() {
         let sim = ServerSim::new(Platform::ntc_server());
         let out = sim.run(&Kernel::mid_mem(), ghz(2.0));
-        let expect =
-            16.0 * out.instructions_per_core as f64 / out.exec_time.as_secs();
+        let expect = 16.0 * out.instructions_per_core as f64 / out.exec_time.as_secs();
         assert!((out.uips - expect).abs() < 1.0);
     }
 

@@ -85,7 +85,11 @@ fn print_forecast_ablation() {
         "{:<16} {:>12} {:>16}",
         "predictor", "violations", "energy (MJ)"
     );
-    for (name, o) in [("ARIMA", &arima), ("seasonal-naive", &naive), ("oracle", &oracle)] {
+    for (name, o) in [
+        ("ARIMA", &arima),
+        ("seasonal-naive", &naive),
+        ("oracle", &oracle),
+    ] {
         println!(
             "{:<16} {:>12} {:>16.1}",
             name,
@@ -122,8 +126,9 @@ fn print_merit_ablation() {
         .collect();
     let servers_used = |a: &[usize]| a.iter().copied().max().unwrap() + 1;
     let full = TwoDimAllocator::new(61.3, 100.0, 8).allocate(&cpu, &mem);
-    let corr_only = TwoDimAllocator::new(61.3, 100.0, 8)
+    let corr_only = TwoDimAllocator::builder(61.3, 100.0, 8)
         .correlation_only()
+        .build_or_panic()
         .allocate(&cpu, &mem);
     println!("\n=== Ablation: Eq. 2 distance term (memory-dominated slot) ===");
     println!(
@@ -173,11 +178,7 @@ fn bench(c: &mut Criterion) {
 
     // Time the Algorithm 1 packing kernel itself.
     let fleet = bench_fleet();
-    let cpu: Vec<TimeSeries> = fleet
-        .vms()
-        .iter()
-        .map(|v| v.cpu.window(0..12))
-        .collect();
+    let cpu: Vec<TimeSeries> = fleet.vms().iter().map(|v| v.cpu.window(0..12)).collect();
     let alloc = OneDimAllocator::new(
         ntc_units::Frequency::from_ghz(1.9),
         ntc_units::Frequency::from_ghz(3.1),

@@ -1,0 +1,56 @@
+//! Benches for the parallel experiment engine: the whole default sweep
+//! end to end, sequential vs all-cores, plus the Algorithm 1 packing
+//! kernel that the `CorrelationCache` rework targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_datacenter::{Engine, ExperimentSpec};
+use std::hint::black_box;
+
+fn sweep_spec() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::default_sweep();
+    spec.fleet.num_vms = 48;
+    spec.max_servers = 600;
+    spec
+}
+
+fn print_sweep_table() {
+    let spec = sweep_spec();
+    let engine = Engine::new();
+    let sweep = engine.run(&spec).expect("valid spec");
+    println!(
+        "\n=== Engine sweep: {} cells on {} threads, {:.2}s wall ===",
+        sweep.cells.len(),
+        sweep.threads,
+        sweep.wall.as_secs_f64()
+    );
+    println!(
+        "{:<24} {:>10} {:>14} {:>11}",
+        "cell", "wall (ms)", "energy (MJ)", "violations"
+    );
+    for cell in &sweep.cells {
+        println!(
+            "{:<24} {:>10.0} {:>14.1} {:>11}",
+            cell.cell.label(spec.ablation),
+            cell.wall.as_secs_f64() * 1e3,
+            cell.outcome.total_energy().as_megajoules(),
+            cell.outcome.total_violations()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_sweep_table();
+
+    let spec = sweep_spec();
+    c.bench_function("engine/sweep_6cells_sequential", |b| {
+        let engine = Engine::with_threads(1);
+        b.iter(|| black_box(engine.run(&spec).expect("valid spec")))
+    });
+    c.bench_function("engine/sweep_6cells_all_cores", |b| {
+        let engine = Engine::new();
+        b.iter(|| black_box(engine.run(&spec).expect("valid spec")))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -32,7 +32,10 @@ fn print_panel(title: &str, server: ServerPowerModel) {
 
 fn bench(c: &mut Criterion) {
     print_panel("(a) NTC", ServerPowerModel::ntc());
-    print_panel("(b) conventional E5-2620", ServerPowerModel::conventional_e5_2620());
+    print_panel(
+        "(b) conventional E5-2620",
+        ServerPowerModel::conventional_e5_2620(),
+    );
     c.bench_function("fig1/regenerate_both_panels", |b| {
         b.iter(|| {
             black_box(experiments::fig1(ServerPowerModel::ntc(), 80));

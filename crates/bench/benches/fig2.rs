@@ -12,11 +12,7 @@ fn print_fig2() {
     println!("\n=== Fig. 2: normalized execution time (<= 1.0 meets QoS) ===");
     println!("{:<10} {}", "workload", freq_header(&freqs));
     for s in &series {
-        let cells: Vec<String> = s
-            .points
-            .iter()
-            .map(|(_, v)| format!("{v:>8.2}"))
-            .collect();
+        let cells: Vec<String> = s.points.iter().map(|(_, v)| format!("{v:>8.2}")).collect();
         println!("{:<10} {}", s.workload, cells.join(" "));
     }
     for s in &series {

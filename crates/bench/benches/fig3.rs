@@ -12,11 +12,7 @@ fn print_fig3() {
     println!("\n=== Fig. 3: efficiency in BUIPS/Watt ===");
     println!("{:<10} {}", "workload", freq_header(&freqs));
     for s in &series {
-        let cells: Vec<String> = s
-            .points
-            .iter()
-            .map(|(_, v)| format!("{v:>8.3}"))
-            .collect();
+        let cells: Vec<String> = s.points.iter().map(|(_, v)| format!("{v:>8.3}")).collect();
         println!("{:<10} {}", s.workload, cells.join(" "));
     }
     for s in &series {

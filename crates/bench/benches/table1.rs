@@ -18,7 +18,9 @@ fn print_table1() {
             r.workload, r.x86_secs, r.qos_limit_secs, r.cavium_secs, r.ntc_secs
         );
     }
-    println!("(paper: 0.437/1.564/3.455 | 0.873/3.127/6.909 | 0.733/5.035/11.943 | 0.582/2.926/6.765)");
+    println!(
+        "(paper: 0.437/1.564/3.455 | 0.873/3.127/6.909 | 0.733/5.035/11.943 | 0.582/2.926/6.765)"
+    );
 }
 
 fn bench(c: &mut Criterion) {

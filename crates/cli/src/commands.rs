@@ -1,6 +1,6 @@
 //! Subcommand implementations for the `ntc-dc` binary.
 
-use ntc_datacenter::{experiments, export};
+use ntc_datacenter::{experiments, export, spec_json, Engine, ExperimentSpec, PredictorSpec};
 use ntc_power::ServerPowerModel;
 use ntc_units::Percent;
 use ntc_workload::{ClusterTraceGenerator, FleetStats};
@@ -105,6 +105,68 @@ pub fn week(args: &[String]) -> Result<(), String> {
             "EPACT saving vs {}: {:.1}%",
             other.policy,
             epact.energy_saving_vs(other) * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `ntc-dc sweep [--spec FILE] [--vms N] [--seed S] [--threads N]
+/// [--arima] [--emit-spec]`
+pub fn sweep(args: &[String]) -> Result<(), String> {
+    let mut spec = match args.iter().position(|a| a == "--spec") {
+        Some(i) => {
+            let path = args
+                .get(i + 1)
+                .ok_or_else(|| "--spec requires a file path".to_string())?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            spec_json::from_json(&text).map_err(|e| format!("parsing {path}: {e}"))?
+        }
+        None => ExperimentSpec::default_sweep(),
+    };
+    spec.fleet.num_vms = opt_usize(args, "--vms", spec.fleet.num_vms)?;
+    spec.fleet.seed = opt_usize(args, "--seed", spec.fleet.seed as usize)? as u64;
+    spec.max_servers = opt_usize(args, "--max-servers", spec.max_servers)?;
+    if flag(args, "--arima") {
+        spec.predictor = PredictorSpec::Arima;
+    }
+    if flag(args, "--emit-spec") {
+        print!("{}", spec_json::to_json(&spec));
+        return Ok(());
+    }
+
+    let engine = match args.iter().position(|a| a == "--threads") {
+        Some(_) => Engine::with_threads(opt_usize(args, "--threads", 1)?),
+        None => Engine::new(),
+    };
+    let sweep = engine.run(&spec).map_err(|e| e.to_string())?;
+
+    println!(
+        "sweep {:?}: {} cells on {} threads, {:.2}s wall",
+        spec.name,
+        sweep.cells.len(),
+        sweep.threads,
+        sweep.wall.as_secs_f64()
+    );
+    println!(
+        "{:<24} {:>10} {:>14} {:>11} {:>14}",
+        "cell", "wall (ms)", "energy (MJ)", "violations", "mean servers"
+    );
+    for cell in &sweep.cells {
+        println!(
+            "{:<24} {:>10.0} {:>14.1} {:>11} {:>14.1}",
+            cell.cell.label(spec.ablation),
+            cell.wall.as_secs_f64() * 1e3,
+            cell.outcome.total_energy().as_megajoules(),
+            cell.outcome.total_violations(),
+            cell.outcome.mean_active_servers()
+        );
+    }
+    let serial: f64 = sweep.cells.iter().map(|c| c.wall.as_secs_f64()).sum();
+    if sweep.wall.as_secs_f64() > 0.0 {
+        println!(
+            "cell time {:.2}s total, speedup {:.2}x",
+            serial,
+            serial / sweep.wall.as_secs_f64()
         );
     }
     Ok(())

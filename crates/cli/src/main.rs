@@ -7,6 +7,7 @@
 //! ntcdc fig2                        Fig. 2
 //! ntcdc fig3                        Fig. 3
 //! ntcdc week [--vms N] [--csv]      Figs. 4-6
+//! ntcdc sweep [--spec FILE]         parallel policy/config sweep
 //! ntcdc fig7 [--vms N] [--csv]      Fig. 7
 //! ntcdc validate                    power-model constants vs the paper
 //! ntcdc fleet-stats [--vms N]       generated-workload statistics
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "fig2" => commands::fig2(),
         "fig3" => commands::fig3(),
         "week" => commands::week(rest),
+        "sweep" => commands::sweep(rest),
         "fig7" => commands::fig7(rest),
         "validate" => commands::validate(),
         "fleet-stats" => commands::fleet_stats(rest),
@@ -57,6 +59,9 @@ fn usage() -> &'static str {
      \x20 fig2                       Fig. 2: QoS-normalized execution time\n\
      \x20 fig3                       Fig. 3: efficiency (BUIPS/W)\n\
      \x20 week   [--vms N] [--csv]   Figs. 4-6: EPACT vs COAT vs COAT-OPT\n\
+     \x20 sweep  [--spec FILE] [--vms N] [--seed S] [--max-servers N]\n\
+     \x20        [--threads N] [--arima] [--emit-spec]\n\
+     \x20                            parallel sweep over an ExperimentSpec\n\
      \x20 fig7   [--vms N] [--csv]   Fig. 7: static-power sweep\n\
      \x20 validate                   power-model constants vs the paper\n\
      \x20 fleet-stats [--vms N]      generated-workload statistics"

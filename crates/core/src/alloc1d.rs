@@ -1,5 +1,7 @@
-use ntc_trace::TimeSeries;
+use ntc_trace::{CorrelationCache, TimeSeries};
 use ntc_units::Frequency;
+
+use crate::Error;
 
 /// Algorithm 1 of the paper: the 1-D (CPU-only) correlation-aware
 /// first-fit-decreasing allocator used when CPU dominates.
@@ -36,13 +38,29 @@ impl OneDimAllocator {
     /// Creates the allocator for a slot whose target frequency is
     /// `fopt` on servers with maximum frequency `fmax`.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if `fopt` is zero or exceeds `fmax`.
+    pub fn try_new(fopt: Frequency, fmax: Frequency) -> Result<Self, Error> {
+        if fopt <= Frequency::ZERO || fopt > fmax {
+            return Err(Error::InvalidFrequencyTarget { fopt, fmax });
+        }
+        Ok(Self { fopt, fmax })
+    }
+
+    /// Creates the allocator, panicking on an invalid frequency pair.
+    ///
+    /// Thin wrapper over [`OneDimAllocator::try_new`].
+    ///
     /// # Panics
     ///
     /// Panics if `fopt` is zero or exceeds `fmax`.
+    #[track_caller]
     pub fn new(fopt: Frequency, fmax: Frequency) -> Self {
-        assert!(fopt > Frequency::ZERO, "Fopt must be positive");
-        assert!(fopt <= fmax, "Fopt cannot exceed Fmax");
-        Self { fopt, fmax }
+        match Self::try_new(fopt, fmax) {
+            Ok(alloc) => alloc,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The CPU cap implied by the frequency pair, percent of capacity at
@@ -81,28 +99,32 @@ impl OneDimAllocator {
         let mut assignment = vec![usize::MAX; predicted_cpu.len()];
         let mut server = 0usize;
         let mut pattern = TimeSeries::zeros(slot_len);
+        // Pairwise Pearson terms are shared by every candidate scan of
+        // the slot; the running accumulator turns each φ query into
+        // O(1) instead of an O(len) pass over a materialized
+        // complement.
+        let mut cache = CorrelationCache::new(predicted_cpu);
+        let mut stats = cache.pattern();
         let mut server_empty = true;
 
         while !pool.is_empty() {
             if server_empty {
                 // Line 4-6: first unallocated VM goes in unconditionally.
                 let vm = pool.remove(0);
-                pattern = pattern.add(&predicted_cpu[vm]);
+                pattern.add_in_place(&predicted_cpu[vm]);
+                stats.admit(&mut cache, vm);
                 assignment[vm] = server;
                 server_empty = false;
                 continue;
             }
-            // Line 8: complementary pattern of the current server.
-            let complement = pattern.complementary();
-            // Lines 9-12: best-correlated VM that keeps the peak under
-            // the frequency cap.
+            // Lines 8-12: best VM by correlation with the server's
+            // complementary pattern, subject to the frequency cap.
             let mut best: Option<(usize, f64)> = None;
             for (pos, &vm) in pool.iter().enumerate() {
-                let combined_peak = pattern.add(&predicted_cpu[vm]).peak();
-                if combined_peak > cap + 1e-9 {
+                if pattern.peak_of_sum(&predicted_cpu[vm]) > cap + 1e-9 {
                     continue;
                 }
-                let phi = complement.correlation(&predicted_cpu[vm]);
+                let phi = stats.complement_correlation(&cache, vm);
                 if best.is_none_or(|(_, b)| phi > b) {
                     best = Some((pos, phi));
                 }
@@ -110,13 +132,15 @@ impl OneDimAllocator {
             match best {
                 Some((pos, _)) => {
                     let vm = pool.remove(pos);
-                    pattern = pattern.add(&predicted_cpu[vm]);
+                    pattern.add_in_place(&predicted_cpu[vm]);
+                    stats.admit(&mut cache, vm);
                     assignment[vm] = server;
                 }
                 None => {
                     // Line 14: open the next server.
                     server += 1;
-                    pattern = TimeSeries::zeros(slot_len);
+                    pattern.reset_zeros(slot_len);
+                    stats.reset();
                     server_empty = true;
                 }
             }
@@ -173,10 +197,7 @@ mod tests {
     fn oversized_vm_still_gets_a_server() {
         // A VM above the cap is admitted into an empty server
         // unconditionally (Alg. 1 lines 3-6).
-        let cpu = vec![
-            TimeSeries::constant(4, 90.0),
-            TimeSeries::constant(4, 10.0),
-        ];
+        let cpu = vec![TimeSeries::constant(4, 90.0), TimeSeries::constant(4, 10.0)];
         let a = alloc().allocate(&cpu);
         assert_ne!(a[0], a[1], "the 90% VM must be alone");
     }
@@ -191,10 +212,7 @@ mod tests {
     fn ffd_order_packs_tight() {
         // Mixed sizes: FFD should not strand big VMs.
         let sizes = [50.0, 10.0, 10.0, 50.0, 10.0, 10.0];
-        let cpu: Vec<TimeSeries> = sizes
-            .iter()
-            .map(|&v| TimeSeries::constant(4, v))
-            .collect();
+        let cpu: Vec<TimeSeries> = sizes.iter().map(|&v| TimeSeries::constant(4, v)).collect();
         let a = alloc().allocate(&cpu);
         let servers = a.iter().collect::<std::collections::HashSet<_>>().len();
         // cap 61.29: {50,10} {50,10} {10,10} = 3 servers is optimal

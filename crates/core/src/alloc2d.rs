@@ -1,4 +1,11 @@
-use ntc_trace::TimeSeries;
+use ntc_trace::{CorrelationCache, TimeSeries};
+
+use crate::Error;
+
+/// Guard against zero distance (a perfect fill) with a small epsilon;
+/// the merit then becomes very large, which is exactly the intended
+/// preference.
+const EPS: f64 = 1e-6;
 
 /// Algorithm 2 of the paper: the 2-D (CPU + memory) merit-function
 /// allocator used when memory dominates.
@@ -38,25 +45,21 @@ pub struct TwoDimAllocator {
     use_distance: bool,
 }
 
-impl TwoDimAllocator {
-    /// Creates the allocator with the slot's caps (percent) and the
-    /// number of servers chosen by Eq. 1.
-    ///
-    /// # Panics
-    ///
-    /// Panics if either cap is non-positive or `num_servers == 0`.
-    pub fn new(cap_cpu: f64, cap_mem: f64, num_servers: usize) -> Self {
-        assert!(cap_cpu > 0.0, "CPU cap must be positive");
-        assert!(cap_mem > 0.0, "memory cap must be positive");
-        assert!(num_servers > 0, "need at least one server");
-        Self {
-            cap_cpu,
-            cap_mem,
-            num_servers,
-            use_distance: true,
-        }
-    }
+/// Builder for [`TwoDimAllocator`], collecting the optional knobs
+/// (currently the Eq. 2 distance-term ablation) before validation.
+///
+/// Obtained from [`TwoDimAllocator::builder`]; finish with
+/// [`build`](TwoDimAllocatorBuilder::build) (fallible) or
+/// [`build_or_panic`](TwoDimAllocatorBuilder::build_or_panic).
+#[derive(Debug, Clone, Copy)]
+pub struct TwoDimAllocatorBuilder {
+    cap_cpu: f64,
+    cap_mem: f64,
+    num_servers: usize,
+    use_distance: bool,
+}
 
+impl TwoDimAllocatorBuilder {
     /// Disables the Euclidean-distance term of Eq. 2, scoring servers
     /// by correlation alone — the ablation the paper's Eq. 2 discussion
     /// motivates ("the Pearson Correlation cannot reflect the closeness
@@ -64,6 +67,93 @@ impl TwoDimAllocator {
     pub fn correlation_only(mut self) -> Self {
         self.use_distance = false;
         self
+    }
+
+    /// Validates the configuration and builds the allocator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either cap is non-positive or
+    /// `num_servers == 0`.
+    pub fn build(self) -> Result<TwoDimAllocator, Error> {
+        if self.cap_cpu <= 0.0 || self.cap_mem <= 0.0 {
+            return Err(Error::NonPositiveCaps {
+                cap_cpu: self.cap_cpu,
+                cap_mem: self.cap_mem,
+            });
+        }
+        if self.num_servers == 0 {
+            return Err(Error::NoServers);
+        }
+        Ok(TwoDimAllocator {
+            cap_cpu: self.cap_cpu,
+            cap_mem: self.cap_mem,
+            num_servers: self.num_servers,
+            use_distance: self.use_distance,
+        })
+    }
+
+    /// Builds the allocator, panicking on invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cap is non-positive or `num_servers == 0`.
+    #[track_caller]
+    pub fn build_or_panic(self) -> TwoDimAllocator {
+        match self.build() {
+            Ok(alloc) => alloc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl TwoDimAllocator {
+    /// Starts a builder with the slot's caps (percent) and the number of
+    /// servers chosen by Eq. 1; chain the optional knobs and finish with
+    /// [`TwoDimAllocatorBuilder::build`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ntc_core::TwoDimAllocator;
+    ///
+    /// let ablated = TwoDimAllocator::builder(61.3, 100.0, 4)
+    ///     .correlation_only()
+    ///     .build()
+    ///     .unwrap();
+    /// assert!((ablated.weight_cpu() + ablated.weight_mem() - 1.0).abs() < 1e-12);
+    /// ```
+    pub fn builder(cap_cpu: f64, cap_mem: f64, num_servers: usize) -> TwoDimAllocatorBuilder {
+        TwoDimAllocatorBuilder {
+            cap_cpu,
+            cap_mem,
+            num_servers,
+            use_distance: true,
+        }
+    }
+
+    /// Creates the allocator with the slot's caps (percent) and the
+    /// number of servers chosen by Eq. 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either cap is non-positive or
+    /// `num_servers == 0`.
+    pub fn try_new(cap_cpu: f64, cap_mem: f64, num_servers: usize) -> Result<Self, Error> {
+        Self::builder(cap_cpu, cap_mem, num_servers).build()
+    }
+
+    /// Creates the allocator, panicking on invalid configuration.
+    ///
+    /// Thin wrapper over [`TwoDimAllocator::try_new`]; use
+    /// [`TwoDimAllocator::builder`] to reach the optional knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cap is non-positive or `num_servers == 0`.
+    #[track_caller]
+    pub fn new(cap_cpu: f64, cap_mem: f64, num_servers: usize) -> Self {
+        Self::builder(cap_cpu, cap_mem, num_servers).build_or_panic()
     }
 
     /// The CPU weight ωcpu of Eq. 2.
@@ -85,10 +175,6 @@ impl TwoDimAllocator {
         srv_cpu: &TimeSeries,
         srv_mem: &TimeSeries,
     ) -> f64 {
-        // Guard against zero distance (a perfect fill) with a small
-        // epsilon; the merit then becomes very large, which is exactly
-        // the intended preference.
-        const EPS: f64 = 1e-6;
         let phi_cpu = srv_cpu.complementary().correlation(vm_cpu);
         let phi_mem = srv_mem.complementary().correlation(vm_mem);
         if !self.use_distance {
@@ -122,6 +208,14 @@ impl TwoDimAllocator {
         let mut srv_mem = vec![TimeSeries::zeros(slot_len); self.num_servers];
         let mut assignment = vec![usize::MAX; cpu.len()];
 
+        // Memoized Pearson terms shared by every candidate scan of the
+        // slot, one accumulator per server and dimension: the φ queries
+        // of Eq. 2 drop from O(len) each to O(1).
+        let mut cache_cpu = CorrelationCache::new(cpu);
+        let mut cache_mem = CorrelationCache::new(mem);
+        let mut stats_cpu: Vec<_> = (0..self.num_servers).map(|_| cache_cpu.pattern()).collect();
+        let mut stats_mem: Vec<_> = (0..self.num_servers).map(|_| cache_mem.pattern()).collect();
+
         // Visit VMs in decreasing combined-footprint order so large VMs
         // see the emptiest servers (the 1-D FFD rationale, extended).
         let mut order: Vec<usize> = (0..cpu.len()).collect();
@@ -134,13 +228,24 @@ impl TwoDimAllocator {
         for vm in order {
             let mut best: Option<(usize, f64)> = None;
             for j in 0..srv_cpu.len() {
-                // Line 3: per-sample feasibility on both dimensions.
-                let cpu_ok = !srv_cpu[j].add(&cpu[vm]).exceeds(self.cap_cpu, 1e-9);
-                let mem_ok = !srv_mem[j].add(&mem[vm]).exceeds(self.cap_mem, 1e-9);
-                if !cpu_ok || !mem_ok {
+                // Line 3: per-sample feasibility on both dimensions,
+                // without materializing the candidate sums.
+                if srv_cpu[j].sum_exceeds(&cpu[vm], self.cap_cpu, 1e-9)
+                    || srv_mem[j].sum_exceeds(&mem[vm], self.cap_mem, 1e-9)
+                {
                     continue;
                 }
-                let m = self.merit(&cpu[vm], &mem[vm], &srv_cpu[j], &srv_mem[j]);
+                // Eq. 2 from cached terms: φ via the running pattern
+                // accumulators, Dist against the headroom in place.
+                let phi_cpu = stats_cpu[j].complement_correlation(&cache_cpu, vm);
+                let phi_mem = stats_mem[j].complement_correlation(&cache_mem, vm);
+                let m = if self.use_distance {
+                    let dist_cpu = srv_cpu[j].headroom_distance(self.cap_cpu, &cpu[vm]) + EPS;
+                    let dist_mem = srv_mem[j].headroom_distance(self.cap_mem, &mem[vm]) + EPS;
+                    self.weight_cpu() * phi_cpu / dist_cpu + self.weight_mem() * phi_mem / dist_mem
+                } else {
+                    self.weight_cpu() * phi_cpu + self.weight_mem() * phi_mem
+                };
                 if best.is_none_or(|(_, bm)| m > bm) {
                     best = Some((j, m));
                 }
@@ -151,11 +256,15 @@ impl TwoDimAllocator {
                     // Overflow server (misprediction headroom): open one.
                     srv_cpu.push(TimeSeries::zeros(slot_len));
                     srv_mem.push(TimeSeries::zeros(slot_len));
+                    stats_cpu.push(cache_cpu.pattern());
+                    stats_mem.push(cache_mem.pattern());
                     srv_cpu.len() - 1
                 }
             };
-            srv_cpu[j] = srv_cpu[j].add(&cpu[vm]);
-            srv_mem[j] = srv_mem[j].add(&mem[vm]);
+            srv_cpu[j].add_in_place(&cpu[vm]);
+            srv_mem[j].add_in_place(&mem[vm]);
+            stats_cpu[j].admit(&mut cache_cpu, vm);
+            stats_mem[j].admit(&mut cache_mem, vm);
             assignment[vm] = j;
         }
         assignment
@@ -230,7 +339,9 @@ mod tests {
             "the tight fit must score higher: {m_full:.4} vs {m_empty:.4}"
         );
         // while the correlation-only ablation cannot tell them apart
-        let co = TwoDimAllocator::new(61.3, 100.0, 2).correlation_only();
+        let co = TwoDimAllocator::builder(61.3, 100.0, 2)
+            .correlation_only()
+            .build_or_panic();
         let c_full = co.merit(&vm, &flat_mem, &nearly_full, &flat_mem);
         let c_empty = co.merit(&vm, &flat_mem, &nearly_empty, &flat_mem);
         assert!((c_full - c_empty).abs() < 1e-9);

@@ -1,5 +1,5 @@
 use ntc_power::DataCenterPowerModel;
-use ntc_trace::TimeSeries;
+use ntc_trace::{CorrelationCache, PatternStats, TimeSeries};
 use ntc_units::{Frequency, Percent};
 use serde::{Deserialize, Serialize};
 
@@ -10,12 +10,7 @@ use crate::{AllocationPolicy, SlotContext, SlotPlan};
 /// preferring the feasible server whose complementary pattern best
 /// matches the VM (the CPU-load-correlation awareness of Kim et al.,
 /// DATE'13) and checking both the CPU and memory caps per sample.
-fn consolidate(
-    cpu: &[TimeSeries],
-    mem: &[TimeSeries],
-    cap_cpu: f64,
-    cap_mem: f64,
-) -> Vec<usize> {
+fn consolidate(cpu: &[TimeSeries], mem: &[TimeSeries], cap_cpu: f64, cap_mem: f64) -> Vec<usize> {
     let slot_len = cpu[0].len();
     let mut order: Vec<usize> = (0..cpu.len()).collect();
     order.sort_by(|&a, &b| {
@@ -27,18 +22,22 @@ fn consolidate(
 
     let mut srv_cpu: Vec<TimeSeries> = Vec::new();
     let mut srv_mem: Vec<TimeSeries> = Vec::new();
+    // Memoized Pearson terms (see ntc_trace::CorrelationCache): each φ
+    // query below is O(1) against the per-server running accumulator.
+    let mut cache = CorrelationCache::new(cpu);
+    let mut stats: Vec<PatternStats> = Vec::new();
     let mut assignment = vec![usize::MAX; cpu.len()];
     for vm in order {
         // Among servers that fit, pick the one with the most
         // complementary (least correlated) load.
         let mut best: Option<(usize, f64)> = None;
         for j in 0..srv_cpu.len() {
-            let cpu_ok = !srv_cpu[j].add(&cpu[vm]).exceeds(cap_cpu, 1e-9);
-            let mem_ok = !srv_mem[j].add(&mem[vm]).exceeds(cap_mem, 1e-9);
+            let cpu_ok = !srv_cpu[j].sum_exceeds(&cpu[vm], cap_cpu, 1e-9);
+            let mem_ok = !srv_mem[j].sum_exceeds(&mem[vm], cap_mem, 1e-9);
             if !cpu_ok || !mem_ok {
                 continue;
             }
-            let phi = srv_cpu[j].complementary().correlation(&cpu[vm]);
+            let phi = stats[j].complement_correlation(&cache, vm);
             if best.is_none_or(|(_, b)| phi > b) {
                 best = Some((j, phi));
             }
@@ -48,11 +47,13 @@ fn consolidate(
             None => {
                 srv_cpu.push(TimeSeries::zeros(slot_len));
                 srv_mem.push(TimeSeries::zeros(slot_len));
+                stats.push(cache.pattern());
                 srv_cpu.len() - 1
             }
         };
-        srv_cpu[j] = srv_cpu[j].add(&cpu[vm]);
-        srv_mem[j] = srv_mem[j].add(&mem[vm]);
+        srv_cpu[j].add_in_place(&cpu[vm]);
+        srv_mem[j].add_in_place(&mem[vm]);
+        stats[j].admit(&mut cache, vm);
         assignment[vm] = j;
     }
     assignment
@@ -125,8 +126,7 @@ impl CoatOpt {
 
     /// The fixed optimal frequency for `ctx`'s server fleet.
     pub fn fixed_frequency(ctx: &SlotContext<'_>) -> Frequency {
-        DataCenterPowerModel::new(ctx.server().clone(), ctx.max_servers())
-            .ntc_optimal_frequency()
+        DataCenterPowerModel::new(ctx.server().clone(), ctx.max_servers()).ntc_optimal_frequency()
     }
 }
 
@@ -143,8 +143,7 @@ impl AllocationPolicy for CoatOpt {
         let fmax = ctx.server().fmax();
         let fopt = Self::fixed_frequency(ctx);
         let cap_cpu = fopt.ratio(fmax) * 100.0;
-        let assignments =
-            consolidate(ctx.predicted_cpu(), ctx.predicted_mem(), cap_cpu, 100.0);
+        let assignments = consolidate(ctx.predicted_cpu(), ctx.predicted_mem(), cap_cpu, 100.0);
         let n = assignments.iter().max().map_or(1, |&m| m + 1);
         SlotPlan::new(
             assignments,
@@ -161,11 +160,7 @@ impl AllocationPolicy for CoatOpt {
 /// Worst-case data-center power of running `n` servers flat out at `f` —
 /// a helper the benches use to compare policies' planned operating
 /// points.
-pub fn worst_case_power(
-    ctx: &SlotContext<'_>,
-    n: usize,
-    f: Frequency,
-) -> ntc_units::Power {
+pub fn worst_case_power(ctx: &SlotContext<'_>, n: usize, f: Frequency) -> ntc_units::Power {
     ctx.server().power(f, Percent::FULL, Percent::ZERO) * n as f64
 }
 

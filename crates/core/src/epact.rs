@@ -37,19 +37,35 @@ use crate::{eq1, AllocationPolicy, OneDimAllocator, SlotContext, SlotPlan, TwoDi
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Epact {
-    _private: (),
+    correlation_only: bool,
 }
 
 impl Epact {
     /// Creates the policy.
     pub fn new() -> Self {
-        Self { _private: () }
+        Self {
+            correlation_only: false,
+        }
+    }
+
+    /// Creates the ablated policy whose memory-dominated Algorithm 2
+    /// path scores servers by correlation alone, dropping the Eq. 2
+    /// distance term (see
+    /// [`TwoDimAllocatorBuilder::correlation_only`](crate::TwoDimAllocatorBuilder::correlation_only)).
+    pub fn correlation_only() -> Self {
+        Self {
+            correlation_only: true,
+        }
     }
 }
 
 impl AllocationPolicy for Epact {
     fn name(&self) -> &str {
-        "EPACT"
+        if self.correlation_only {
+            "EPACT-corrOnly"
+        } else {
+            "EPACT"
+        }
     }
 
     fn allocate(&self, ctx: &SlotContext<'_>) -> SlotPlan {
@@ -68,7 +84,11 @@ impl AllocationPolicy for Epact {
             let n = a.iter().max().map_or(1, |&m| m + 1);
             (a, n)
         } else {
-            let alloc = TwoDimAllocator::new(cap_cpu, 100.0, decision.num_servers);
+            let mut builder = TwoDimAllocator::builder(cap_cpu, 100.0, decision.num_servers);
+            if self.correlation_only {
+                builder = builder.correlation_only();
+            }
+            let alloc = builder.build_or_panic();
             let a = alloc.allocate(ctx.predicted_cpu(), ctx.predicted_mem());
             let n = a.iter().max().map_or(1, |&m| m + 1);
             (a, n)
@@ -150,11 +170,7 @@ mod tests {
         let server = ServerPowerModel::ntc();
         let cpu: Vec<TimeSeries> = (0..48)
             .map(|i| {
-                TimeSeries::from_values(
-                    (0..12)
-                        .map(|t| 3.0 + ((i + t) % 7) as f64 * 0.5)
-                        .collect(),
-                )
+                TimeSeries::from_values((0..12).map(|t| 3.0 + ((i + t) % 7) as f64 * 0.5).collect())
             })
             .collect();
         let mem = vec![TimeSeries::constant(12, 1.0); 48];

@@ -69,8 +69,7 @@ pub fn decide(ctx: &SlotContext<'_>, f_ntc_opt: Frequency) -> ServerCountDecisio
     let server = ctx.server();
     let peak_cpu = ctx.peak_aggregate_cpu();
     let peak_mem = ctx.peak_aggregate_mem();
-    let n_cpu = nhat_cpu(peak_cpu, server.fmax(), f_ntc_opt)
-        .clamp(1, ctx.max_servers());
+    let n_cpu = nhat_cpu(peak_cpu, server.fmax(), f_ntc_opt).clamp(1, ctx.max_servers());
     let n_mem = nhat_mem(peak_mem).clamp(1, ctx.max_servers());
 
     if n_cpu > n_mem {
@@ -84,8 +83,7 @@ pub fn decide(ctx: &SlotContext<'_>, f_ntc_opt: Frequency) -> ServerCountDecisio
             if (n as f64) * f.as_mhz() * 100.0 < peak_cpu * server.fmax().as_mhz() - 1e-6 {
                 continue;
             }
-            let power =
-                server.power(f, Percent::FULL, Percent::ZERO).as_watts() * n as f64;
+            let power = server.power(f, Percent::FULL, Percent::ZERO).as_watts() * n as f64;
             if best.is_none_or(|(_, _, p)| power < p) {
                 best = Some((n, f, power));
             }

@@ -64,10 +64,7 @@ fn partition_power(
 ///
 /// Panics if `cpu` is empty or holds more than 12 VMs (the partition
 /// count — the Bell number — explodes beyond that).
-pub fn optimal_allocation(
-    server: &ServerPowerModel,
-    cpu: &[TimeSeries],
-) -> ExhaustiveResult {
+pub fn optimal_allocation(server: &ServerPowerModel, cpu: &[TimeSeries]) -> ExhaustiveResult {
     assert!(!cpu.is_empty(), "no VMs to allocate");
     assert!(
         cpu.len() <= 12,
@@ -164,9 +161,8 @@ mod tests {
 
         let ctx = SlotContext::new(&cpu, &mem, &server, 100);
         let plan = Epact::new().allocate(&ctx);
-        let epact_power =
-            partition_power(&server, &cpu, plan.assignments(), plan.num_servers())
-                .expect("EPACT plans are feasible");
+        let epact_power = partition_power(&server, &cpu, plan.assignments(), plan.num_servers())
+            .expect("EPACT plans are feasible");
 
         let gap = epact_power.as_watts() / opt.power.as_watts();
         assert!(

@@ -107,7 +107,10 @@ mod tests {
         assert!((at_fmax.value() - 40.0).abs() < 1e-9);
         assert!((at_half.value() - 80.0).abs() < 1e-9);
         // saturates at 100
-        assert_eq!(g.utilization_at(90.0, Frequency::from_mhz(310.0)), Percent::FULL);
+        assert_eq!(
+            g.utilization_at(90.0, Frequency::from_mhz(310.0)),
+            Percent::FULL
+        );
     }
 
     #[test]

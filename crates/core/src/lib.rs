@@ -39,8 +39,9 @@
 mod alloc1d;
 mod alloc2d;
 mod coat;
-pub mod eq1;
 mod epact;
+pub mod eq1;
+mod error;
 pub mod exhaustive;
 mod governor;
 mod loadbalance;
@@ -48,9 +49,10 @@ mod migration;
 mod plan;
 
 pub use alloc1d::OneDimAllocator;
-pub use alloc2d::TwoDimAllocator;
+pub use alloc2d::{TwoDimAllocator, TwoDimAllocatorBuilder};
 pub use coat::{worst_case_power, Coat, CoatOpt};
 pub use epact::Epact;
+pub use error::{Error, Result};
 pub use governor::DvfsGovernor;
 pub use loadbalance::LoadBalance;
 pub use migration::migration_count;

@@ -69,8 +69,7 @@ impl AllocationPolicy for LoadBalance {
         let server = ctx.server();
         let fmax = server.fmax();
         let peak = ctx.peak_aggregate_cpu();
-        let n = ((peak / self.target_util).ceil() as usize)
-            .clamp(1, ctx.max_servers());
+        let n = ((peak / self.target_util).ceil() as usize).clamp(1, ctx.max_servers());
 
         // Least-loaded-first balancing on mean predicted CPU.
         let cpu = ctx.predicted_cpu();

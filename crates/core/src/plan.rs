@@ -3,6 +3,8 @@ use ntc_trace::TimeSeries;
 use ntc_units::Frequency;
 use serde::{Deserialize, Serialize};
 
+use crate::Error;
+
 /// Everything a policy sees when allocating one time slot: the predicted
 /// per-VM utilization patterns for the slot and the server model.
 ///
@@ -17,39 +19,67 @@ pub struct SlotContext<'a> {
 }
 
 impl<'a> SlotContext<'a> {
-    /// Builds a context.
+    /// Builds a context, validating the prediction lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the CPU and memory prediction lists differ in
+    /// length, are empty, contain series of unequal length, or
+    /// `max_servers` is zero.
+    pub fn try_new(
+        predicted_cpu: &'a [TimeSeries],
+        predicted_mem: &'a [TimeSeries],
+        server: &'a ServerPowerModel,
+        max_servers: usize,
+    ) -> Result<Self, Error> {
+        if predicted_cpu.len() != predicted_mem.len() {
+            return Err(Error::PredictionCountMismatch {
+                cpu: predicted_cpu.len(),
+                mem: predicted_mem.len(),
+            });
+        }
+        if predicted_cpu.is_empty() {
+            return Err(Error::NoVms);
+        }
+        if max_servers == 0 {
+            return Err(Error::NoServers);
+        }
+        let len = predicted_cpu[0].len();
+        if !predicted_cpu
+            .iter()
+            .chain(predicted_mem.iter())
+            .all(|s| s.len() == len)
+        {
+            return Err(Error::RaggedSeries);
+        }
+        Ok(Self {
+            predicted_cpu,
+            predicted_mem,
+            server,
+            max_servers,
+        })
+    }
+
+    /// Builds a context, panicking on invalid input.
+    ///
+    /// Thin wrapper over [`SlotContext::try_new`] for call sites (tests,
+    /// examples, experiment runners) where invalid input is a bug.
     ///
     /// # Panics
     ///
     /// Panics if the CPU and memory prediction lists differ in length,
     /// are empty, contain series of unequal length, or `max_servers`
     /// is zero.
+    #[track_caller]
     pub fn new(
         predicted_cpu: &'a [TimeSeries],
         predicted_mem: &'a [TimeSeries],
         server: &'a ServerPowerModel,
         max_servers: usize,
     ) -> Self {
-        assert_eq!(
-            predicted_cpu.len(),
-            predicted_mem.len(),
-            "need one CPU and one memory prediction per VM"
-        );
-        assert!(!predicted_cpu.is_empty(), "context needs at least one VM");
-        assert!(max_servers > 0, "data center needs at least one server");
-        let len = predicted_cpu[0].len();
-        assert!(
-            predicted_cpu
-                .iter()
-                .chain(predicted_mem.iter())
-                .all(|s| s.len() == len),
-            "all prediction series must cover the same slot"
-        );
-        Self {
-            predicted_cpu,
-            predicted_mem,
-            server,
-            max_servers,
+        match Self::try_new(predicted_cpu, predicted_mem, server, max_servers) {
+            Ok(ctx) => ctx,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -117,11 +147,72 @@ impl SlotPlan {
     /// the highest frequency (`floor == ceiling == Fmax`), and COAT-OPT
     /// pins servers at its fixed optimal cap.
     ///
+    /// # Errors
+    ///
+    /// Returns an error if any assignment refers to a server
+    /// `>= num_servers`, the caps are non-positive, or the planned
+    /// frequency lies outside `[dvfs_floor, dvfs_ceiling]`.
+    pub fn try_new(
+        assignments: Vec<usize>,
+        num_servers: usize,
+        cap_cpu: f64,
+        cap_mem: f64,
+        planned_freq: Frequency,
+        dvfs_floor: Frequency,
+        dvfs_ceiling: Frequency,
+    ) -> Result<Self, Error> {
+        if num_servers == 0 {
+            return Err(Error::EmptyPlan);
+        }
+        if let Some((vm, &server)) = assignments
+            .iter()
+            .enumerate()
+            .find(|&(_, &s)| s >= num_servers)
+        {
+            return Err(Error::AssignmentOutOfRange {
+                vm,
+                server,
+                num_servers,
+            });
+        }
+        if cap_cpu <= 0.0 || cap_mem <= 0.0 {
+            return Err(Error::NonPositiveCaps { cap_cpu, cap_mem });
+        }
+        if dvfs_floor > dvfs_ceiling {
+            return Err(Error::InvertedDvfsRange {
+                floor: dvfs_floor,
+                ceiling: dvfs_ceiling,
+            });
+        }
+        if planned_freq < dvfs_floor || planned_freq > dvfs_ceiling {
+            return Err(Error::FrequencyOutsideRange {
+                planned: planned_freq,
+                floor: dvfs_floor,
+                ceiling: dvfs_ceiling,
+            });
+        }
+        Ok(Self {
+            assignments,
+            num_servers,
+            cap_cpu,
+            cap_mem,
+            planned_freq,
+            dvfs_floor,
+            dvfs_ceiling,
+        })
+    }
+
+    /// Creates a plan, panicking on invalid input.
+    ///
+    /// Thin wrapper over [`SlotPlan::try_new`] for policies whose own
+    /// invariants already guarantee validity.
+    ///
     /// # Panics
     ///
     /// Panics if any assignment refers to a server `>= num_servers`, the
     /// caps are non-positive, or the planned frequency lies outside
     /// `[dvfs_floor, dvfs_ceiling]`.
+    #[track_caller]
     pub fn new(
         assignments: Vec<usize>,
         num_servers: usize,
@@ -131,21 +222,7 @@ impl SlotPlan {
         dvfs_floor: Frequency,
         dvfs_ceiling: Frequency,
     ) -> Self {
-        assert!(num_servers > 0, "plan must use at least one server");
-        assert!(
-            assignments.iter().all(|&s| s < num_servers),
-            "assignment to a server beyond num_servers"
-        );
-        assert!(cap_cpu > 0.0 && cap_mem > 0.0, "caps must be positive");
-        assert!(
-            dvfs_floor <= dvfs_ceiling,
-            "DVFS floor above the ceiling"
-        );
-        assert!(
-            planned_freq >= dvfs_floor && planned_freq <= dvfs_ceiling,
-            "planned frequency outside the online range"
-        );
-        Self {
+        match Self::try_new(
             assignments,
             num_servers,
             cap_cpu,
@@ -153,6 +230,9 @@ impl SlotPlan {
             planned_freq,
             dvfs_floor,
             dvfs_ceiling,
+        ) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -210,16 +290,33 @@ impl SlotPlan {
     ///
     /// Panics if `series` is shorter than the assignment list.
     pub fn aggregate_per_server(&self, series: &[TimeSeries]) -> Vec<TimeSeries> {
+        let mut out = Vec::new();
+        self.aggregate_per_server_into(series, &mut out);
+        out
+    }
+
+    /// [`aggregate_per_server`](SlotPlan::aggregate_per_server) into a
+    /// caller-owned buffer, reusing its allocations — the form the
+    /// slot-replay hot loop of `ntc_datacenter::WeekSim` uses. `out` is
+    /// resized to `num_servers` and every entry reset before
+    /// accumulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is shorter than the assignment list.
+    pub fn aggregate_per_server_into(&self, series: &[TimeSeries], out: &mut Vec<TimeSeries>) {
         assert!(
             series.len() >= self.assignments.len(),
             "need one series per assigned VM"
         );
         let len = series.first().map_or(0, |s| s.len());
-        let mut out = vec![TimeSeries::zeros(len); self.num_servers];
+        out.resize_with(self.num_servers, || TimeSeries::zeros(0));
+        for s in out.iter_mut() {
+            s.reset_zeros(len);
+        }
         for (vm, &s) in self.assignments.iter().enumerate() {
             out[s].add_in_place(&series[vm]);
         }
-        out
     }
 }
 

@@ -1,0 +1,489 @@
+//! The parallel experiment engine.
+//!
+//! Every figure and table of the paper is a sweep over independent
+//! (policy, configuration) cells: run a [`WeekSim`] week per cell,
+//! tabulate. [`ExperimentSpec`] declares such a sweep once — policy
+//! set, server models, predictor, fleet, QoS floors and ablation flags
+//! — and [`Engine`] fans the cells across a scoped worker pool sized
+//! from [`std::thread::available_parallelism`], collecting
+//! [`WeekOutcome`]s deterministically in spec order: every cell is a
+//! pure function of the spec, so the schedule cannot change the
+//! results, only the wall-clock.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_datacenter::{Engine, ExperimentSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep();
+//! spec.fleet.num_vms = 16; // keep the doctest fast
+//! spec.max_servers = 200;
+//! let sweep = Engine::new().run(&spec).unwrap();
+//! assert_eq!(sweep.cells.len(), 6); // 3 policies x 2 server models
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ntc_core::{AllocationPolicy, Coat, CoatOpt, Epact, Error, LoadBalance};
+use ntc_forecast::{ArimaPredictor, SeasonalNaive};
+use ntc_power::ServerPowerModel;
+use ntc_units::Frequency;
+use ntc_workload::{ClusterTraceGenerator, Fleet};
+use serde::{Deserialize, Serialize};
+
+use crate::{WeekOutcome, WeekSim};
+
+/// The synthetic fleet a sweep runs over (see
+/// [`ClusterTraceGenerator::google_like`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Number of VMs.
+    pub num_vms: usize,
+    /// Generator seed; the whole sweep shares one fleet.
+    pub seed: u64,
+    /// Trace horizon in weeks (minimum 2: training + evaluation).
+    pub weeks: usize,
+}
+
+impl FleetSpec {
+    /// Materializes the fleet.
+    pub fn generate(&self) -> Fleet {
+        ClusterTraceGenerator::google_like(self.num_vms, self.seed)
+            .with_weeks(self.weeks)
+            .generate()
+    }
+}
+
+/// An allocation policy in the sweep's policy set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// The paper's contribution (§V-B).
+    Epact,
+    /// Consolidation at maximum capacity (Kim et al., DATE'13).
+    Coat,
+    /// Consolidation at the optimal fixed cap.
+    CoatOpt,
+    /// Load balancing over all servers (the anti-consolidation extreme).
+    LoadBalance,
+}
+
+impl PolicySpec {
+    /// Instantiates the policy, honouring the spec's ablation flags.
+    pub fn build(&self, ablation: AblationFlags) -> Box<dyn AllocationPolicy> {
+        match self {
+            PolicySpec::Epact if ablation.correlation_only => Box::new(Epact::correlation_only()),
+            PolicySpec::Epact => Box::new(Epact::new()),
+            PolicySpec::Coat => Box::new(Coat::new()),
+            PolicySpec::CoatOpt => Box::new(CoatOpt::new()),
+            PolicySpec::LoadBalance => Box::new(LoadBalance::new()),
+        }
+    }
+}
+
+/// A server power model in the sweep's server set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerSpec {
+    /// The NTC many-core server (Table 1).
+    Ntc,
+    /// The conventional Xeon E5-2620 reference.
+    Conventional,
+}
+
+impl ServerSpec {
+    /// Instantiates the power model.
+    pub fn model(&self) -> ServerPowerModel {
+        match self {
+            ServerSpec::Ntc => ServerPowerModel::ntc(),
+            ServerSpec::Conventional => ServerPowerModel::conventional_e5_2620(),
+        }
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServerSpec::Ntc => "NTC",
+            ServerSpec::Conventional => "conv",
+        }
+    }
+}
+
+/// The forecast pipeline shared by every cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PredictorSpec {
+    /// Perfect predictions (the actual traces) — isolates allocation
+    /// quality from forecast quality.
+    Oracle,
+    /// The paper's pipeline: ARIMA retrained daily on all history.
+    Arima,
+    /// Same-time-yesterday baseline.
+    SeasonalNaive,
+}
+
+/// Ablation switches applied across the sweep (DESIGN.md §7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AblationFlags {
+    /// Drop the Eq. 2 distance term in EPACT's memory-dominated path,
+    /// scoring servers by correlation alone.
+    pub correlation_only: bool,
+}
+
+/// A declarative experiment sweep: the cross product of `policies`,
+/// `servers` and `qos_floors_mhz` evaluated over one shared fleet.
+///
+/// This is the single serde-serializable entry point the CLI `sweep`
+/// subcommand, the examples and the benches all share; see
+/// [`spec_json`](crate::spec_json) for the on-disk form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Display name of the sweep.
+    pub name: String,
+    /// The shared synthetic fleet.
+    pub fleet: FleetSpec,
+    /// Policy set (one axis of the cell cross product).
+    pub policies: Vec<PolicySpec>,
+    /// Server-model set (second axis).
+    pub servers: Vec<ServerSpec>,
+    /// QoS frequency floors in MHz (third axis); `None` = pure
+    /// demand-proportional DVFS. Use `vec![None]` for a single arm.
+    pub qos_floors_mhz: Vec<Option<f64>>,
+    /// Forecast pipeline shared by every cell.
+    pub predictor: PredictorSpec,
+    /// Physical servers available to every cell.
+    pub max_servers: usize,
+    /// Sweep-wide ablation switches.
+    pub ablation: AblationFlags,
+}
+
+impl ExperimentSpec {
+    /// The paper's headline comparison: EPACT vs COAT vs COAT-OPT on
+    /// both server models, oracle predictions, no QoS floor — six
+    /// cells.
+    pub fn default_sweep() -> Self {
+        Self {
+            name: "policy-comparison".to_string(),
+            fleet: FleetSpec {
+                num_vms: 48,
+                seed: 2024,
+                weeks: 2,
+            },
+            policies: vec![PolicySpec::Epact, PolicySpec::Coat, PolicySpec::CoatOpt],
+            servers: vec![ServerSpec::Ntc, ServerSpec::Conventional],
+            qos_floors_mhz: vec![None],
+            predictor: PredictorSpec::Oracle,
+            max_servers: 600,
+            ablation: AblationFlags::default(),
+        }
+    }
+
+    /// Expands the cross product into concrete cells, in the
+    /// deterministic order results are reported: servers outermost,
+    /// then QoS floors, then policies.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::new();
+        for &server in &self.servers {
+            for &floor in &self.qos_floors_mhz {
+                for &policy in &self.policies {
+                    out.push(CellSpec {
+                        policy,
+                        server,
+                        qos_floor_mhz: floor,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One (policy, configuration) cell of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// The allocation policy under evaluation.
+    pub policy: PolicySpec,
+    /// The server power model.
+    pub server: ServerSpec,
+    /// Optional QoS frequency floor in MHz.
+    pub qos_floor_mhz: Option<f64>,
+}
+
+impl CellSpec {
+    /// Human-readable cell label, e.g. `EPACT/NTC` or
+    /// `COAT/conv@1800MHz`.
+    pub fn label(&self, ablation: AblationFlags) -> String {
+        let policy = self.policy.build(ablation);
+        match self.qos_floor_mhz {
+            Some(mhz) => format!("{}/{}@{:.0}MHz", policy.name(), self.server.label(), mhz),
+            None => format!("{}/{}", policy.name(), self.server.label()),
+        }
+    }
+}
+
+/// One evaluated cell: its spec, the week outcome and the cell's own
+/// wall-clock.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell that was run.
+    pub cell: CellSpec,
+    /// The evaluated week.
+    pub outcome: WeekOutcome,
+    /// Wall-clock time this cell took on its worker.
+    pub wall: Duration,
+}
+
+/// A completed sweep, cells in spec order.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One outcome per cell, in [`ExperimentSpec::cells`] order.
+    pub cells: Vec<CellOutcome>,
+    /// End-to-end wall-clock including fleet generation.
+    pub wall: Duration,
+    /// Worker threads the engine used.
+    pub threads: usize,
+}
+
+impl SweepResult {
+    /// The week outcomes alone, in spec order — the payload determinism
+    /// checks compare (per-cell wall-clock is scheduling noise).
+    pub fn outcomes(&self) -> Vec<&WeekOutcome> {
+        self.cells.iter().map(|c| &c.outcome).collect()
+    }
+}
+
+/// Parallel experiment runner over [`ExperimentSpec`] cells.
+///
+/// Cells are pulled off a shared atomic counter by `threads` scoped
+/// workers and written into their spec-order slots, so results are
+/// bit-identical however the cells are scheduled (including
+/// [`Engine::run_sequential`]).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Engine {
+    /// An engine sized from [`std::thread::available_parallelism`]
+    /// (1 if that is unavailable).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self { threads }
+    }
+
+    /// An engine with an explicit worker count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The worker-pool size.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of `spec` across the worker pool, returning
+    /// outcomes in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the spec expands to no cells, the fleet is
+    /// empty, `max_servers == 0`, or the fleet horizon is shorter than
+    /// two weeks.
+    pub fn run(&self, spec: &ExperimentSpec) -> Result<SweepResult, Error> {
+        self.run_with_workers(spec, self.threads)
+    }
+
+    /// Runs every cell on the calling thread — same code path, one
+    /// worker; the reference the parallel run must match bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::run`].
+    pub fn run_sequential(&self, spec: &ExperimentSpec) -> Result<SweepResult, Error> {
+        self.run_with_workers(spec, 1)
+    }
+
+    fn run_with_workers(
+        &self,
+        spec: &ExperimentSpec,
+        threads: usize,
+    ) -> Result<SweepResult, Error> {
+        let started = Instant::now();
+        let cells = spec.cells();
+        if cells.is_empty() {
+            return Err(Error::EmptySpec);
+        }
+        if spec.fleet.num_vms == 0 {
+            return Err(Error::NoVms);
+        }
+        let fleet = spec.fleet.generate();
+        // Validate the shared configuration once, before fanning out:
+        // every cell shares the fleet horizon and server budget.
+        for &server in &spec.servers {
+            WeekSim::try_new(&fleet, server.model(), spec.max_servers)?;
+        }
+
+        let workers = threads.min(cells.len()).max(1);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<CellOutcome>>> =
+            cells.iter().map(|_| Mutex::new(None)).collect();
+
+        if workers == 1 {
+            drain_cells(&next, &cells, &slots, spec, &fleet);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &fleet));
+                }
+            });
+        }
+
+        let cells = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("worker panics propagate out of the scope")
+                    .expect("every index below cells.len() was claimed")
+            })
+            .collect();
+        Ok(SweepResult {
+            cells,
+            wall: started.elapsed(),
+            threads: workers,
+        })
+    }
+}
+
+/// Worker body: claim cell indices off the shared counter until none
+/// remain, writing each outcome into its spec-order slot.
+fn drain_cells(
+    next: &AtomicUsize,
+    cells: &[CellSpec],
+    slots: &[Mutex<Option<CellOutcome>>],
+    spec: &ExperimentSpec,
+    fleet: &Fleet,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        let Some(cell) = cells.get(i) else { break };
+        let outcome = run_cell(spec, fleet, cell);
+        *slots[i].lock().expect("no panics while holding the slot") = Some(outcome);
+    }
+}
+
+/// Evaluates one cell: build the simulator, instantiate the policy and
+/// predictor, run the week. Pure in (spec, fleet, cell) — the
+/// determinism guarantee rests here.
+fn run_cell(spec: &ExperimentSpec, fleet: &Fleet, cell: &CellSpec) -> CellOutcome {
+    let started = Instant::now();
+    let mut builder = WeekSim::builder(fleet, cell.server.model(), spec.max_servers);
+    if let Some(mhz) = cell.qos_floor_mhz {
+        builder = builder.qos_floor(Frequency::from_mhz(mhz));
+    }
+    let sim = builder
+        .build()
+        .expect("shared fleet and budget validated before fan-out");
+    let policy = cell.policy.build(spec.ablation);
+    let per_day = fleet.grid().samples_per_day();
+    let outcome = match spec.predictor {
+        PredictorSpec::Oracle => sim.run_with_oracle(policy.as_ref()),
+        PredictorSpec::Arima => sim.run(policy.as_ref(), &ArimaPredictor::daily(per_day)),
+        PredictorSpec::SeasonalNaive => sim.run(policy.as_ref(), &SeasonalNaive::new(per_day)),
+    };
+    CellOutcome {
+        cell: *cell,
+        outcome,
+        wall: started.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> ExperimentSpec {
+        let mut spec = ExperimentSpec::default_sweep();
+        spec.fleet.num_vms = 12;
+        spec.max_servers = 100;
+        spec.servers = vec![ServerSpec::Ntc];
+        spec
+    }
+
+    #[test]
+    fn cells_expand_in_spec_order() {
+        let spec = ExperimentSpec::default_sweep();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cells[0].policy, PolicySpec::Epact);
+        assert_eq!(cells[0].server, ServerSpec::Ntc);
+        assert_eq!(cells[3].server, ServerSpec::Conventional);
+    }
+
+    #[test]
+    fn empty_policy_set_is_rejected() {
+        let mut spec = tiny_spec();
+        spec.policies.clear();
+        let err = Engine::with_threads(2).run(&spec).unwrap_err();
+        assert!(matches!(err, Error::EmptySpec));
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        let mut spec = tiny_spec();
+        spec.fleet.num_vms = 0;
+        let err = Engine::with_threads(2).run(&spec).unwrap_err();
+        assert!(matches!(err, Error::NoVms));
+    }
+
+    #[test]
+    fn short_horizon_is_rejected() {
+        let mut spec = tiny_spec();
+        spec.fleet.weeks = 1;
+        let err = Engine::with_threads(2).run(&spec).unwrap_err();
+        assert!(matches!(err, Error::HorizonTooShort { .. }));
+    }
+
+    #[test]
+    fn sweep_reports_cells_in_spec_order() {
+        let spec = tiny_spec();
+        let sweep = Engine::with_threads(4).run(&spec).unwrap();
+        assert_eq!(sweep.cells.len(), 3);
+        let names: Vec<&str> = sweep
+            .cells
+            .iter()
+            .map(|c| c.outcome.policy.as_str())
+            .collect();
+        assert_eq!(names, ["EPACT", "COAT", "COAT-OPT"]);
+    }
+
+    #[test]
+    fn ablation_flag_reaches_epact() {
+        let mut spec = tiny_spec();
+        spec.policies = vec![PolicySpec::Epact];
+        spec.ablation.correlation_only = true;
+        let sweep = Engine::with_threads(1).run(&spec).unwrap();
+        assert_eq!(sweep.cells[0].outcome.policy, "EPACT-corrOnly");
+    }
+
+    #[test]
+    fn qos_floor_axis_multiplies_cells() {
+        let mut spec = tiny_spec();
+        spec.qos_floors_mhz = vec![None, Some(1800.0)];
+        let sweep = Engine::with_threads(4).run(&spec).unwrap();
+        assert_eq!(sweep.cells.len(), 6);
+        // The floored arms can only cost energy.
+        for (plain, floored) in sweep.cells[..3].iter().zip(&sweep.cells[3..]) {
+            assert_eq!(plain.cell.policy, floored.cell.policy);
+            assert!(floored.outcome.total_energy() >= plain.outcome.total_energy());
+        }
+    }
+}

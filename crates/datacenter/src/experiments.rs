@@ -350,6 +350,9 @@ mod tests {
             pts[0].saving_pct,
             pts[1].saving_pct
         );
-        assert!(pts[0].saving_pct > 0.0, "EPACT must win at low static power");
+        assert!(
+            pts[0].saving_pct > 0.0,
+            "EPACT must win at low static power"
+        );
     }
 }

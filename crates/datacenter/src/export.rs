@@ -3,8 +3,8 @@
 
 use std::fmt::Write as _;
 
-use crate::WeekOutcome;
 use crate::experiments::{Fig1Curve, Fig2Series, Fig3Series, Fig7Point};
+use crate::WeekOutcome;
 
 /// Renders the per-slot series of several week outcomes side by side
 /// (Figs. 4–6 in one table): columns

@@ -27,10 +27,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod engine;
 pub mod experiments;
 pub mod export;
 mod outcome;
+pub mod spec_json;
 mod weeksim;
 
+pub use engine::{
+    AblationFlags, CellOutcome, CellSpec, Engine, ExperimentSpec, FleetSpec, PolicySpec,
+    PredictorSpec, ServerSpec, SweepResult,
+};
 pub use outcome::{SlotOutcome, WeekOutcome};
-pub use weeksim::WeekSim;
+pub use weeksim::{WeekSim, WeekSimBuilder};

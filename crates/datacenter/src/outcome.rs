@@ -52,7 +52,11 @@ impl WeekOutcome {
         if self.slots.is_empty() {
             return 0.0;
         }
-        self.slots.iter().map(|s| s.active_servers as f64).sum::<f64>() / self.slots.len() as f64
+        self.slots
+            .iter()
+            .map(|s| s.active_servers as f64)
+            .sum::<f64>()
+            / self.slots.len() as f64
     }
 
     /// Energy saving of this run relative to `baseline`
@@ -67,7 +71,10 @@ impl WeekOutcome {
 
     /// Per-slot energy series in megajoules (the Fig. 6 y-axis).
     pub fn energy_series_mj(&self) -> Vec<f64> {
-        self.slots.iter().map(|s| s.energy.as_megajoules()).collect()
+        self.slots
+            .iter()
+            .map(|s| s.energy.as_megajoules())
+            .collect()
     }
 
     /// Per-slot active-server series (the Fig. 5 y-axis).
@@ -120,6 +127,12 @@ mod tests {
             slots: vec![slot(0, 1, 20.0)],
         };
         assert!((a.energy_saving_vs(&b) - 0.45).abs() < 1e-12);
-        assert_eq!(a.energy_saving_vs(&WeekOutcome { policy: "0".into(), slots: vec![] }), 0.0);
+        assert_eq!(
+            a.energy_saving_vs(&WeekOutcome {
+                policy: "0".into(),
+                slots: vec![]
+            }),
+            0.0
+        );
     }
 }

@@ -1,0 +1,539 @@
+//! JSON (de)serialization for [`ExperimentSpec`] — the on-disk form the
+//! CLI `sweep` subcommand reads and writes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_datacenter::{spec_json, ExperimentSpec};
+//!
+//! let spec = ExperimentSpec::default_sweep();
+//! let text = spec_json::to_json(&spec);
+//! assert_eq!(spec_json::from_json(&text).unwrap(), spec);
+//! ```
+
+use crate::engine::{
+    AblationFlags, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
+};
+
+/// Renders `spec` as pretty-printed JSON.
+pub fn to_json(spec: &ExperimentSpec) -> String {
+    let policies = spec
+        .policies
+        .iter()
+        .map(|p| format!("\"{}\"", policy_tag(*p)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let servers = spec
+        .servers
+        .iter()
+        .map(|s| format!("\"{}\"", server_tag(*s)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let floors = spec
+        .qos_floors_mhz
+        .iter()
+        .map(|f| match f {
+            Some(mhz) => format!("{mhz}"),
+            None => "null".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        concat!(
+            "{{\n",
+            "  \"name\": \"{name}\",\n",
+            "  \"fleet\": {{\"num_vms\": {num_vms}, \"seed\": {seed}, \"weeks\": {weeks}}},\n",
+            "  \"policies\": [{policies}],\n",
+            "  \"servers\": [{servers}],\n",
+            "  \"qos_floors_mhz\": [{floors}],\n",
+            "  \"predictor\": \"{predictor}\",\n",
+            "  \"max_servers\": {max_servers},\n",
+            "  \"correlation_only\": {correlation_only}\n",
+            "}}\n"
+        ),
+        name = escape(&spec.name),
+        num_vms = spec.fleet.num_vms,
+        seed = spec.fleet.seed,
+        weeks = spec.fleet.weeks,
+        policies = policies,
+        servers = servers,
+        floors = floors,
+        predictor = predictor_tag(spec.predictor),
+        max_servers = spec.max_servers,
+        correlation_only = spec.ablation.correlation_only,
+    )
+}
+
+/// Parses a spec from JSON text.
+///
+/// Unknown fields are rejected, missing fields report their path.
+///
+/// # Errors
+///
+/// Returns a human-readable message describing the first syntax or
+/// schema problem encountered.
+pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
+    let value = Parser::new(text).parse()?;
+    let obj = value.as_object("spec")?;
+    let mut spec = ExperimentSpec {
+        name: String::new(),
+        fleet: FleetSpec {
+            num_vms: 0,
+            seed: 0,
+            weeks: 2,
+        },
+        policies: Vec::new(),
+        servers: Vec::new(),
+        qos_floors_mhz: Vec::new(),
+        predictor: PredictorSpec::Oracle,
+        max_servers: 0,
+        ablation: AblationFlags::default(),
+    };
+    let mut seen_fleet = false;
+    for (key, val) in obj {
+        match key.as_str() {
+            "name" => spec.name = val.as_string("name")?.to_string(),
+            "fleet" => {
+                seen_fleet = true;
+                for (fkey, fval) in val.as_object("fleet")? {
+                    match fkey.as_str() {
+                        "num_vms" => spec.fleet.num_vms = fval.as_usize("fleet.num_vms")?,
+                        "seed" => spec.fleet.seed = fval.as_u64("fleet.seed")?,
+                        "weeks" => spec.fleet.weeks = fval.as_usize("fleet.weeks")?,
+                        other => return Err(format!("unknown field fleet.{other}")),
+                    }
+                }
+            }
+            "policies" => {
+                for (i, item) in val.as_array("policies")?.iter().enumerate() {
+                    let tag = item.as_string(&format!("policies[{i}]"))?;
+                    spec.policies.push(parse_policy(tag)?);
+                }
+            }
+            "servers" => {
+                for (i, item) in val.as_array("servers")?.iter().enumerate() {
+                    let tag = item.as_string(&format!("servers[{i}]"))?;
+                    spec.servers.push(parse_server(tag)?);
+                }
+            }
+            "qos_floors_mhz" => {
+                for (i, item) in val.as_array("qos_floors_mhz")?.iter().enumerate() {
+                    spec.qos_floors_mhz.push(match item {
+                        Value::Null => None,
+                        other => Some(other.as_f64(&format!("qos_floors_mhz[{i}]"))?),
+                    });
+                }
+            }
+            "predictor" => spec.predictor = parse_predictor(val.as_string("predictor")?)?,
+            "max_servers" => spec.max_servers = val.as_usize("max_servers")?,
+            "correlation_only" => {
+                spec.ablation.correlation_only = val.as_bool("correlation_only")?
+            }
+            other => return Err(format!("unknown field {other}")),
+        }
+    }
+    if !seen_fleet {
+        return Err("missing field fleet".to_string());
+    }
+    if spec.qos_floors_mhz.is_empty() {
+        spec.qos_floors_mhz.push(None);
+    }
+    Ok(spec)
+}
+
+fn policy_tag(p: PolicySpec) -> &'static str {
+    match p {
+        PolicySpec::Epact => "epact",
+        PolicySpec::Coat => "coat",
+        PolicySpec::CoatOpt => "coat_opt",
+        PolicySpec::LoadBalance => "load_balance",
+    }
+}
+
+fn parse_policy(tag: &str) -> Result<PolicySpec, String> {
+    match tag {
+        "epact" => Ok(PolicySpec::Epact),
+        "coat" => Ok(PolicySpec::Coat),
+        "coat_opt" => Ok(PolicySpec::CoatOpt),
+        "load_balance" => Ok(PolicySpec::LoadBalance),
+        other => Err(format!(
+            "unknown policy {other:?} (expected epact, coat, coat_opt or load_balance)"
+        )),
+    }
+}
+
+fn server_tag(s: ServerSpec) -> &'static str {
+    match s {
+        ServerSpec::Ntc => "ntc",
+        ServerSpec::Conventional => "conventional",
+    }
+}
+
+fn parse_server(tag: &str) -> Result<ServerSpec, String> {
+    match tag {
+        "ntc" => Ok(ServerSpec::Ntc),
+        "conventional" => Ok(ServerSpec::Conventional),
+        other => Err(format!(
+            "unknown server {other:?} (expected ntc or conventional)"
+        )),
+    }
+}
+
+fn predictor_tag(p: PredictorSpec) -> &'static str {
+    match p {
+        PredictorSpec::Oracle => "oracle",
+        PredictorSpec::Arima => "arima",
+        PredictorSpec::SeasonalNaive => "seasonal_naive",
+    }
+}
+
+fn parse_predictor(tag: &str) -> Result<PredictorSpec, String> {
+    match tag {
+        "oracle" => Ok(PredictorSpec::Oracle),
+        "arima" => Ok(PredictorSpec::Arima),
+        "seasonal_naive" => Ok(PredictorSpec::SeasonalNaive),
+        other => Err(format!(
+            "unknown predictor {other:?} (expected oracle, arima or seasonal_naive)"
+        )),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The JSON subset the spec format needs.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    fn as_object(&self, path: &str) -> Result<&[(String, Value)], String> {
+        match self {
+            Value::Object(fields) => Ok(fields),
+            other => Err(format!(
+                "{path} must be an object, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_array(&self, path: &str) -> Result<&[Value], String> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(format!(
+                "{path} must be an array, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_string(&self, path: &str) -> Result<&str, String> {
+        match self {
+            Value::String(s) => Ok(s),
+            other => Err(format!(
+                "{path} must be a string, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_bool(&self, path: &str) -> Result<bool, String> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(format!(
+                "{path} must be a boolean, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_f64(&self, path: &str) -> Result<f64, String> {
+        match self {
+            Value::Number(n) => Ok(*n),
+            other => Err(format!(
+                "{path} must be a number, got {}",
+                other.type_name()
+            )),
+        }
+    }
+
+    fn as_u64(&self, path: &str) -> Result<u64, String> {
+        let n = self.as_f64(path)?;
+        if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+            return Err(format!("{path} must be a non-negative integer, got {n}"));
+        }
+        Ok(n as u64)
+    }
+
+    fn as_usize(&self, path: &str) -> Result<usize, String> {
+        let n = self.as_u64(path)?;
+        usize::try_from(n).map_err(|_| format!("{path} is too large"))
+    }
+}
+
+/// Minimal recursive-descent JSON parser (no escapes beyond the ones
+/// [`escape`] emits, no exponents in the grammar we accept — plenty for
+/// the spec format, zero dependencies).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse(mut self) -> Result<Value, String> {
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing input at byte {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other as char, self.pos
+            )),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.peek()?;
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, got {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, got {:?}",
+                        self.pos, other as char
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let escaped = self.bytes.get(self.pos + 1).ok_or("unterminated escape")?;
+                    out.push(match escaped {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        other => return Err(format!("unsupported escape \\{}", *other as char)),
+                    });
+                    self.pos += 2;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar: lean on str validity.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().expect("non-empty by the match above");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || *b == b'.')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_default_sweep() {
+        let spec = ExperimentSpec::default_sweep();
+        let text = to_json(&spec);
+        assert_eq!(from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn round_trips_every_knob() {
+        let mut spec = ExperimentSpec::default_sweep();
+        spec.name = "full \"axis\" sweep".to_string();
+        spec.policies.push(PolicySpec::LoadBalance);
+        spec.qos_floors_mhz = vec![None, Some(1200.0), Some(1800.0)];
+        spec.predictor = PredictorSpec::Arima;
+        spec.ablation.correlation_only = true;
+        let text = to_json(&spec);
+        assert_eq!(from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "frobnicate": 3}"#;
+        let err = from_json(text).unwrap_err();
+        assert!(err.contains("frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_policy() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "policies": ["greedy"]}"#;
+        let err = from_json(text).unwrap_err();
+        assert!(err.contains("greedy"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_fleet() {
+        let err = from_json(r#"{"name": "x"}"#).unwrap_err();
+        assert!(err.contains("fleet"), "{err}");
+    }
+
+    #[test]
+    fn rejects_syntax_errors() {
+        assert!(from_json("{").is_err());
+        assert!(from_json(r#"{"name": }"#).is_err());
+        assert!(from_json("{} trailing").is_err());
+        assert!(from_json(r#"{"fleet": {"num_vms": -3, "seed": 1}}"#).is_err());
+    }
+
+    #[test]
+    fn empty_floor_list_defaults_to_no_floor() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "qos_floors_mhz": []}"#;
+        let spec = from_json(text).unwrap();
+        assert_eq!(spec.qos_floors_mhz, vec![None]);
+    }
+}

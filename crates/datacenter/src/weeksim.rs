@@ -22,30 +22,21 @@ pub struct WeekSim<'a> {
     qos_floor: Option<Frequency>,
 }
 
-impl<'a> WeekSim<'a> {
-    /// Creates a simulator over `fleet` with `max_servers` physical
-    /// servers of the given model.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the fleet horizon is shorter than two weeks of 5-minute
-    /// samples (training week + evaluation week) or `max_servers == 0`.
-    pub fn new(fleet: &'a Fleet, server: ServerPowerModel, max_servers: usize) -> Self {
-        assert!(max_servers > 0, "data center needs at least one server");
-        let week = 7 * 24 * 12;
-        assert!(
-            fleet.grid().len() >= 2 * week,
-            "fleet must carry a training week plus the evaluation week"
-        );
-        Self {
-            fleet,
-            server,
-            max_servers,
-            eval_start: fleet.grid().len() - week,
-            qos_floor: None,
-        }
-    }
+/// Builder for [`WeekSim`], collecting the optional knobs (currently the
+/// QoS frequency floor) before validating the fleet horizon.
+///
+/// Obtained from [`WeekSim::builder`]; finish with
+/// [`build`](WeekSimBuilder::build) (fallible) or
+/// [`build_or_panic`](WeekSimBuilder::build_or_panic).
+#[derive(Debug)]
+pub struct WeekSimBuilder<'a> {
+    fleet: &'a Fleet,
+    server: ServerPowerModel,
+    max_servers: usize,
+    qos_floor: Option<Frequency>,
+}
 
+impl<'a> WeekSimBuilder<'a> {
     /// Adds a QoS frequency floor: no occupied server ever runs below
     /// `floor`, regardless of demand.
     ///
@@ -56,9 +47,100 @@ impl<'a> WeekSim<'a> {
     /// here. The default (no floor) models pure demand-proportional
     /// DVFS, where a VM's utilization share already reflects its batch
     /// progress.
-    pub fn with_qos_floor(mut self, floor: Frequency) -> Self {
+    pub fn qos_floor(mut self, floor: Frequency) -> Self {
         self.qos_floor = Some(floor);
         self
+    }
+
+    /// Validates the configuration and builds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fleet horizon is shorter than two weeks
+    /// of 5-minute samples (training week + evaluation week) or
+    /// `max_servers == 0`.
+    pub fn build(self) -> Result<WeekSim<'a>, ntc_core::Error> {
+        if self.max_servers == 0 {
+            return Err(ntc_core::Error::NoServers);
+        }
+        let week = 7 * 24 * 12;
+        let have = self.fleet.grid().len();
+        if have < 2 * week {
+            return Err(ntc_core::Error::HorizonTooShort {
+                have,
+                need: 2 * week,
+            });
+        }
+        Ok(WeekSim {
+            fleet: self.fleet,
+            server: self.server,
+            max_servers: self.max_servers,
+            eval_start: have - week,
+            qos_floor: self.qos_floor,
+        })
+    }
+
+    /// Builds the simulator, panicking on invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet horizon is shorter than two weeks or
+    /// `max_servers == 0`.
+    #[track_caller]
+    pub fn build_or_panic(self) -> WeekSim<'a> {
+        match self.build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl<'a> WeekSim<'a> {
+    /// Starts a builder over `fleet` with `max_servers` physical servers
+    /// of the given model; chain the optional knobs (e.g.
+    /// [`qos_floor`](WeekSimBuilder::qos_floor)) and finish with
+    /// [`WeekSimBuilder::build`].
+    pub fn builder(
+        fleet: &'a Fleet,
+        server: ServerPowerModel,
+        max_servers: usize,
+    ) -> WeekSimBuilder<'a> {
+        WeekSimBuilder {
+            fleet,
+            server,
+            max_servers,
+            qos_floor: None,
+        }
+    }
+
+    /// Creates a simulator over `fleet` with `max_servers` physical
+    /// servers of the given model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fleet horizon is shorter than two weeks
+    /// of 5-minute samples (training week + evaluation week) or
+    /// `max_servers == 0`.
+    pub fn try_new(
+        fleet: &'a Fleet,
+        server: ServerPowerModel,
+        max_servers: usize,
+    ) -> Result<Self, ntc_core::Error> {
+        Self::builder(fleet, server, max_servers).build()
+    }
+
+    /// Creates a simulator, panicking on invalid configuration.
+    ///
+    /// Thin wrapper over [`WeekSim::try_new`]; use [`WeekSim::builder`]
+    /// to reach the optional knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet horizon is shorter than two weeks of 5-minute
+    /// samples (training week + evaluation week) or `max_servers == 0`.
+    #[track_caller]
+    pub fn new(fleet: &'a Fleet, server: ServerPowerModel, max_servers: usize) -> Self {
+        Self::builder(fleet, server, max_servers).build_or_panic()
     }
 
     /// Sample index where the evaluation week begins.
@@ -108,6 +190,15 @@ impl<'a> WeekSim<'a> {
         let mut current_plan: Option<ntc_core::SlotPlan> = None;
         let mut migrations_this_slot;
 
+        // Slot-replay buffers, reused across all 168 slots instead of
+        // reallocating per-VM windows and per-server aggregates each
+        // iteration.
+        let mut actual_cpu: Vec<TimeSeries> = vec![TimeSeries::zeros(0); n_vms];
+        let mut actual_mem: Vec<TimeSeries> = vec![TimeSeries::zeros(0); n_vms];
+        let mut per_server_cpu: Vec<TimeSeries> = Vec::new();
+        let mut per_server_mem: Vec<TimeSeries> = Vec::new();
+        let mut occupancy: Vec<bool> = Vec::new();
+
         let mut outcomes = Vec::with_capacity(slots);
         for slot in 0..slots {
             let start = self.eval_start + slot * sps;
@@ -128,8 +219,7 @@ impl<'a> WeekSim<'a> {
                 // (or the oracle's actuals).
                 let window_len = sps * period.min(slots - slot);
                 let offset = (slot % slots_per_day) * sps;
-                let (pred_cpu, pred_mem): (Vec<TimeSeries>, Vec<TimeSeries>) = match predictor
-                {
+                let (pred_cpu, pred_mem): (Vec<TimeSeries>, Vec<TimeSeries>) = match predictor {
                     Some(_) => (
                         day_forecast_cpu
                             .iter()
@@ -153,8 +243,7 @@ impl<'a> WeekSim<'a> {
                             .collect(),
                     ),
                 };
-                let ctx =
-                    SlotContext::new(&pred_cpu, &pred_mem, &self.server, self.max_servers);
+                let ctx = SlotContext::new(&pred_cpu, &pred_mem, &self.server, self.max_servers);
                 let new_plan = policy.allocate(&ctx);
                 migrations_this_slot = match &current_plan {
                     Some(prev) => ntc_core::migration_count(prev, &new_plan),
@@ -166,26 +255,18 @@ impl<'a> WeekSim<'a> {
             }
             let plan = current_plan.as_ref().expect("plan set at period start");
 
-            // Replay the slot with the actual traces.
-            let actual_cpu: Vec<TimeSeries> = self
-                .fleet
-                .vms()
-                .iter()
-                .map(|v| v.cpu.window(range.clone()))
-                .collect();
-            let actual_mem: Vec<TimeSeries> = self
-                .fleet
-                .vms()
-                .iter()
-                .map(|v| v.mem.window(range.clone()))
-                .collect();
-            let per_server_cpu = plan.aggregate_per_server(&actual_cpu);
-            let per_server_mem = plan.aggregate_per_server(&actual_mem);
-            let occupancy: Vec<bool> = plan
-                .vms_per_server()
-                .iter()
-                .map(|vms| !vms.is_empty())
-                .collect();
+            // Replay the slot with the actual traces, recycling the
+            // window and aggregate buffers hoisted above.
+            for (buf, vm) in actual_cpu.iter_mut().zip(self.fleet.vms()) {
+                buf.copy_window_from(&vm.cpu, range.clone());
+            }
+            for (buf, vm) in actual_mem.iter_mut().zip(self.fleet.vms()) {
+                buf.copy_window_from(&vm.mem, range.clone());
+            }
+            plan.aggregate_per_server_into(&actual_cpu, &mut per_server_cpu);
+            plan.aggregate_per_server_into(&actual_mem, &mut per_server_mem);
+            occupancy.clear();
+            occupancy.extend(plan.vms_per_server().iter().map(|vms| !vms.is_empty()));
 
             let mut violations = 0usize;
             let mut energy = Energy::ZERO;
@@ -314,8 +395,9 @@ mod tests {
     fn qos_floor_raises_energy_not_violations() {
         let fleet = small_fleet();
         let plain = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
-        let floored = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600)
-            .with_qos_floor(Frequency::from_ghz(1.8));
+        let floored = WeekSim::builder(&fleet, ServerPowerModel::ntc(), 600)
+            .qos_floor(Frequency::from_ghz(1.8))
+            .build_or_panic();
         let e_plain = plain.run_with_oracle(&Epact::new());
         let e_floor = floored.run_with_oracle(&Epact::new());
         assert!(

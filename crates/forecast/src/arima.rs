@@ -262,8 +262,7 @@ mod tests {
                 state ^= state >> 7;
                 state ^= state << 17;
                 let e = ((state as f64 / u64::MAX as f64) - 0.5) * noise;
-                40.0 + 25.0
-                    * ((t % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
+                40.0 + 25.0 * ((t % period) as f64 / period as f64 * std::f64::consts::TAU).sin()
                     + e
             })
             .collect()
@@ -277,8 +276,8 @@ mod tests {
         let fc = model.fit(&hist).forecast(period);
         // Compare against the true (noiseless) next day.
         for (h, &f) in fc.iter().enumerate() {
-            let truth = 40.0
-                + 25.0 * ((h % period) as f64 / period as f64 * std::f64::consts::TAU).sin();
+            let truth =
+                40.0 + 25.0 * ((h % period) as f64 / period as f64 * std::f64::consts::TAU).sin();
             assert!(
                 (f - truth).abs() < 8.0,
                 "step {h}: forecast {f:.1} vs truth {truth:.1}"
@@ -319,11 +318,7 @@ mod tests {
             y.push(0.8 * last + e);
         }
         let fit = Arima::new(1, 0, 1).fit(&y);
-        assert!(
-            (fit.phi()[0] - 0.8).abs() < 0.15,
-            "phi {:?}",
-            fit.phi()
-        );
+        assert!((fit.phi()[0] - 0.8).abs() < 0.15, "phi {:?}", fit.phi());
     }
 
     #[test]

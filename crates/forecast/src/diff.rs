@@ -69,11 +69,7 @@ pub fn integrate(tail: &[f64], z: &[f64], lag: usize) -> Vec<f64> {
     );
     let mut out: Vec<f64> = Vec::with_capacity(z.len());
     for (h, &dz) in z.iter().enumerate() {
-        let prev = if h < lag {
-            tail[h]
-        } else {
-            out[h - lag]
-        };
+        let prev = if h < lag { tail[h] } else { out[h - lag] };
         out.push(prev + dz);
     }
     out
@@ -123,6 +119,7 @@ mod tests {
         let y = [1.0, 4.0, 9.0, 16.0, 25.0, 36.0];
         let d1 = difference_n(&y, 1);
         let d2 = difference_n(&y, 2);
+        assert_eq!(d2, vec![2.0; 4], "squares double-difference to 2");
         let tails = vec![*y.last().unwrap(), *d1.last().unwrap()];
         // forecast the next 3 double-differenced values (constant 2)
         let fc2 = vec![2.0, 2.0, 2.0];

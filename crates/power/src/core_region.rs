@@ -52,13 +52,27 @@ impl CoreRegionModel {
     /// energy-per-cycle scaling of the Exynos 5433 A57 cluster transposed
     /// to FD-SOI per §IV-1.
     pub fn ntc_a57(num_cores: usize) -> Self {
-        Self::new(VfCurve::fdsoi_28nm_ntc(), num_cores, 1.3e-9, 2.0e-4, 0.15, 0.24)
+        Self::new(
+            VfCurve::fdsoi_28nm_ntc(),
+            num_cores,
+            1.3e-9,
+            2.0e-4,
+            0.15,
+            0.24,
+        )
     }
 
     /// A conventional bulk-CMOS server core region (Intel E5-2620 class,
     /// 6 wide cores with high per-core capacitance and high leakage).
     pub fn conventional_xeon(num_cores: usize) -> Self {
-        Self::new(VfCurve::bulk_conventional(), num_cores, 2.5e-9, 2.0e-2, 0.30, 0.24)
+        Self::new(
+            VfCurve::bulk_conventional(),
+            num_cores,
+            2.5e-9,
+            2.0e-2,
+            0.30,
+            0.24,
+        )
     }
 
     /// Builds a core-region model from raw physical parameters.
@@ -223,6 +237,10 @@ mod tests {
     #[should_panic(expected = "exceed 1")]
     fn overcommitted_fractions_rejected() {
         let m = CoreRegionModel::ntc_a57(4);
-        let _ = m.power(Frequency::from_ghz(1.0), Percent::new(80.0), Percent::new(30.0));
+        let _ = m.power(
+            Frequency::from_ghz(1.0),
+            Percent::new(80.0),
+            Percent::new(30.0),
+        );
     }
 }

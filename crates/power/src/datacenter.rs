@@ -149,19 +149,10 @@ impl DataCenterPowerModel {
 
     /// The full Fig. 1 surface: worst-case power for every `(util, f)`
     /// pair, `None` where infeasible.
-    pub fn power_surface(
-        &self,
-        utils: &[Percent],
-        freqs: &[Frequency],
-    ) -> Vec<Vec<Option<Power>>> {
+    pub fn power_surface(&self, utils: &[Percent], freqs: &[Frequency]) -> Vec<Vec<Option<Power>>> {
         utils
             .iter()
-            .map(|&u| {
-                freqs
-                    .iter()
-                    .map(|&f| self.worst_case_power(u, f))
-                    .collect()
-            })
+            .map(|&u| freqs.iter().map(|&f| self.worst_case_power(u, f)).collect())
             .collect()
     }
 }
@@ -230,7 +221,10 @@ mod tests {
             None
         );
         // zero demand needs zero servers
-        assert_eq!(dc.required_servers(Percent::ZERO, dc.server().fmax()), Some(0));
+        assert_eq!(
+            dc.required_servers(Percent::ZERO, dc.server().fmax()),
+            Some(0)
+        );
     }
 
     #[test]

@@ -146,8 +146,14 @@ mod tests {
         let c = VfCurve::fdsoi_28nm_ntc();
         assert_eq!(c.fmin(), Frequency::from_mhz(100.0));
         assert_eq!(c.fmax(), Frequency::from_ghz(3.1));
-        assert_eq!(c.voltage_at(Frequency::from_mhz(100.0)), Voltage::from_volts(0.46));
-        assert_eq!(c.voltage_at(Frequency::from_ghz(3.1)), Voltage::from_volts(1.15));
+        assert_eq!(
+            c.voltage_at(Frequency::from_mhz(100.0)),
+            Voltage::from_volts(0.46)
+        );
+        assert_eq!(
+            c.voltage_at(Frequency::from_ghz(3.1)),
+            Voltage::from_volts(1.15)
+        );
     }
 
     #[test]
@@ -164,8 +170,14 @@ mod tests {
     #[test]
     fn clamping_outside_range() {
         let c = VfCurve::fdsoi_28nm_ntc();
-        assert_eq!(c.voltage_at(Frequency::from_mhz(10.0)), Voltage::from_volts(0.46));
-        assert_eq!(c.voltage_at(Frequency::from_ghz(9.9)), Voltage::from_volts(1.15));
+        assert_eq!(
+            c.voltage_at(Frequency::from_mhz(10.0)),
+            Voltage::from_volts(0.46)
+        );
+        assert_eq!(
+            c.voltage_at(Frequency::from_ghz(9.9)),
+            Voltage::from_volts(1.15)
+        );
     }
 
     #[test]

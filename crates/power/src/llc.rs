@@ -79,7 +79,10 @@ impl LlcModel {
             "LLC capacity must be a whole number of SRAM blocks"
         );
         assert!(block_leak_ref_watts > 0.0, "block leakage must be positive");
-        assert!(ref_voltage > Voltage::ZERO, "reference voltage must be positive");
+        assert!(
+            ref_voltage > Voltage::ZERO,
+            "reference voltage must be positive"
+        );
         Self {
             capacity,
             block_size,

@@ -36,9 +36,7 @@ use crate::ServerPowerModel;
 /// ```
 pub fn ep_index(server: &ServerPowerModel, f: Frequency, steps: usize) -> f64 {
     assert!(steps >= 2, "EP index needs at least two utilization steps");
-    let peak = server
-        .power(f, Percent::FULL, Percent::ZERO)
-        .as_watts();
+    let peak = server.power(f, Percent::FULL, Percent::ZERO).as_watts();
     if peak <= 0.0 {
         return 0.0;
     }

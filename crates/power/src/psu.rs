@@ -35,7 +35,13 @@ impl PsuModel {
     pub fn gold_200w() -> Self {
         Self::new(
             Power::from_watts(200.0),
-            vec![(0.0, 0.60), (0.10, 0.82), (0.20, 0.87), (0.50, 0.92), (1.0, 0.89)],
+            vec![
+                (0.0, 0.60),
+                (0.10, 0.82),
+                (0.20, 0.87),
+                (0.50, 0.92),
+                (1.0, 0.89),
+            ],
         )
     }
 
@@ -45,7 +51,13 @@ impl PsuModel {
     pub fn bronze_450w() -> Self {
         Self::new(
             Power::from_watts(450.0),
-            vec![(0.0, 0.50), (0.10, 0.75), (0.20, 0.81), (0.50, 0.85), (1.0, 0.82)],
+            vec![
+                (0.0, 0.50),
+                (0.10, 0.75),
+                (0.20, 0.81),
+                (0.50, 0.85),
+                (1.0, 0.82),
+            ],
         )
     }
 
@@ -63,7 +75,9 @@ impl PsuModel {
             assert!(w[0].0 < w[1].0, "knots must ascend in load fraction");
         }
         assert!(
-            knots.iter().all(|&(l, e)| (0.0..=1.0).contains(&l) && e > 0.0 && e <= 1.0),
+            knots
+                .iter()
+                .all(|&(l, e)| (0.0..=1.0).contains(&l) && e > 0.0 && e <= 1.0),
             "knots must have load in [0,1] and efficiency in (0,1]"
         );
         Self { rating, knots }
@@ -147,9 +161,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "ascend")]
     fn unsorted_knots_rejected() {
-        let _ = PsuModel::new(
-            Power::from_watts(100.0),
-            vec![(0.5, 0.9), (0.2, 0.8)],
-        );
+        let _ = PsuModel::new(Power::from_watts(100.0), vec![(0.5, 0.9), (0.2, 0.8)]);
     }
 }

@@ -240,9 +240,7 @@ impl ServerPowerModel {
                 .llc
                 .power(v, load.llc_reads_per_sec, load.llc_writes_per_sec),
             uncore: self.uncore.power(f),
-            dram: self
-                .dram
-                .power(load.mem_active, load.read_bytes_per_sec),
+            dram: self.dram.power(load.mem_active, load.read_bytes_per_sec),
         }
     }
 
@@ -312,8 +310,12 @@ mod tests {
         let m = ServerPowerModel::ntc();
         let f = Frequency::from_ghz(1.9);
         let p0 = m.power(f, Percent::new(50.0), Percent::ZERO).as_watts();
-        let p1 = m.power(f, Percent::new(50.0), Percent::new(20.0)).as_watts();
-        let p2 = m.power(f, Percent::new(50.0), Percent::new(40.0)).as_watts();
+        let p1 = m
+            .power(f, Percent::new(50.0), Percent::new(20.0))
+            .as_watts();
+        let p2 = m
+            .power(f, Percent::new(50.0), Percent::new(40.0))
+            .as_watts();
         let d1 = p1 - p0;
         let d2 = p2 - p1;
         // The DRAM contribution is linear; the WFM coupling makes core
@@ -325,7 +327,12 @@ mod tests {
     #[test]
     fn breakdown_sums_to_total() {
         let m = ServerPowerModel::ntc();
-        let load = ServerLoad::mixed(Percent::new(70.0), 0.2, Percent::new(25.0), m.peak_read_bw());
+        let load = ServerLoad::mixed(
+            Percent::new(70.0),
+            0.2,
+            Percent::new(25.0),
+            m.peak_read_bw(),
+        );
         let f = Frequency::from_ghz(2.4);
         let b = m.breakdown(f, &load);
         assert!((b.total().as_watts() - m.power_at(f, &load).as_watts()).abs() < 1e-12);

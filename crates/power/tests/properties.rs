@@ -1,8 +1,6 @@
 //! Property-based tests of the power models.
 
-use ntc_power::{
-    proportionality, DataCenterPowerModel, ServerLoad, ServerPowerModel, VfCurve,
-};
+use ntc_power::{proportionality, DataCenterPowerModel, ServerLoad, ServerPowerModel, VfCurve};
 use ntc_units::{Frequency, Percent, Voltage};
 use proptest::prelude::*;
 

@@ -1,0 +1,345 @@
+//! Memoized Pearson-correlation terms for the allocator hot loops.
+//!
+//! Algorithms 1 and 2 score every unallocated VM against the current
+//! server pattern `Patt` by the correlation of the VM with the server's
+//! *complementary* pattern `max(Patt) − Patt`. Done naively (as the
+//! paper states it) every candidate scan materializes the complement and
+//! re-walks both series. The terms involved are redundant across scans:
+//!
+//! * `corr(max(S) − S, v) = −cov(S, v) / (σ(S) · σ(v))` — the complement
+//!   only flips the sign, so no complement series is ever needed;
+//! * `cov(S, v) = Σ_{u ∈ S} cov(u, v)` — covariance is additive in the
+//!   sum, so admitting a VM updates the running covariances with one
+//!   pass over the pairwise terms;
+//! * `var(S + u) = var(S) + var(u) + 2·cov(S, u)` — the pattern variance
+//!   updates in O(1) from terms already on hand.
+//!
+//! [`CorrelationCache`] precomputes the per-series moments once per slot
+//! and memoizes pairwise covariances on first use; [`PatternStats`]
+//! carries the running `cov(S, ·)` vector and `var(S)` for one server
+//! pattern. Together they reduce a candidate scan from O(len) per
+//! candidate to O(1), with each pairwise covariance computed at most
+//! once per slot — the redundancy hoist the `ntc_datacenter::Engine`
+//! sweep relies on.
+//!
+//! The numerical contract mirrors [`stats`](crate::stats) exactly:
+//! population moments, a `1e-12` degenerate-σ floor mapping to φ = 0,
+//! and clamping into `[-1, 1]`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ntc_trace::{CorrelationCache, TimeSeries};
+//!
+//! let vms = vec![
+//!     TimeSeries::from_values(vec![30.0, 30.0, 5.0, 5.0]),
+//!     TimeSeries::from_values(vec![5.0, 5.0, 30.0, 30.0]),
+//! ];
+//! let mut cache = CorrelationCache::new(&vms);
+//! let mut pattern = cache.pattern();
+//! pattern.admit(&mut cache, 0);
+//! // The night VM matches the day pattern's complement perfectly.
+//! assert!((pattern.complement_correlation(&cache, 1) - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::{stats, TimeSeries};
+
+/// Not-yet-memoized marker for pairwise covariance slots. Input series
+/// are asserted finite, so a genuine covariance can never be NaN.
+const UNSET: f64 = f64::NAN;
+
+/// Per-slot cache of the Pearson terms shared by every candidate scan:
+/// per-series population moments (eager) and pairwise covariances
+/// (memoized on first use).
+///
+/// Create one per allocation call and thread it through
+/// [`PatternStats`]; see the [module docs](self) for the algebra.
+#[derive(Debug, Clone)]
+pub struct PatternStats {
+    var: f64,
+    cov_with: Vec<f64>,
+}
+
+/// See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CorrelationCache {
+    num_series: usize,
+    /// Row-major `num_series × len` mean-centered values.
+    centered: Vec<f64>,
+    len: usize,
+    vars: Vec<f64>,
+    stds: Vec<f64>,
+    /// Row-major `num_series × num_series`, `UNSET` until memoized.
+    cov: Vec<f64>,
+}
+
+impl CorrelationCache {
+    /// Builds the cache for a slot's per-VM series, computing each
+    /// series' population mean, variance and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty or the series lengths differ.
+    pub fn new(series: &[TimeSeries]) -> Self {
+        assert!(!series.is_empty(), "correlation cache needs a series set");
+        let len = series[0].len();
+        assert!(
+            series.iter().all(|s| s.len() == len),
+            "all series must cover the same slot"
+        );
+        let num_series = series.len();
+        let mut centered = Vec::with_capacity(num_series * len);
+        let mut vars = Vec::with_capacity(num_series);
+        let mut stds = Vec::with_capacity(num_series);
+        for s in series {
+            let mean = s.mean();
+            centered.extend(s.values().iter().map(|&v| v - mean));
+            let var = stats::variance(s.values());
+            vars.push(var);
+            stds.push(var.sqrt());
+        }
+        Self {
+            num_series,
+            centered,
+            len,
+            vars,
+            stds,
+            cov: vec![UNSET; num_series * num_series],
+        }
+    }
+
+    /// Number of series the cache was built over.
+    pub fn num_series(&self) -> usize {
+        self.num_series
+    }
+
+    /// Population variance of series `i` (identical to
+    /// [`stats::variance`]).
+    pub fn variance(&self, i: usize) -> f64 {
+        self.vars[i]
+    }
+
+    /// Population standard deviation of series `i`.
+    pub fn std_dev(&self, i: usize) -> f64 {
+        self.stds[i]
+    }
+
+    /// Population covariance of series `i` and `j` (identical to
+    /// [`stats::covariance`]), computed on first use and memoized.
+    pub fn covariance(&mut self, i: usize, j: usize) -> f64 {
+        let slot = i * self.num_series + j;
+        let cached = self.cov[slot];
+        if !cached.is_nan() {
+            return cached;
+        }
+        let a = &self.centered[i * self.len..(i + 1) * self.len];
+        let b = &self.centered[j * self.len..(j + 1) * self.len];
+        let c = if self.len < 2 {
+            0.0
+        } else {
+            a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>() / self.len as f64
+        };
+        self.cov[slot] = c;
+        self.cov[j * self.num_series + i] = c;
+        c
+    }
+
+    /// Pearson correlation of series `i` and `j`, memoizing the
+    /// covariance term. Matches [`stats::pearson_correlation`]: zero if
+    /// either σ is below `1e-12`, clamped into `[-1, 1]`.
+    pub fn correlation(&mut self, i: usize, j: usize) -> f64 {
+        let (si, sj) = (self.stds[i], self.stds[j]);
+        if si < 1e-12 || sj < 1e-12 {
+            return 0.0;
+        }
+        (self.covariance(i, j) / (si * sj)).clamp(-1.0, 1.0)
+    }
+
+    /// An empty [`PatternStats`] accumulator sized for this cache.
+    pub fn pattern(&self) -> PatternStats {
+        PatternStats {
+            var: 0.0,
+            cov_with: vec![0.0; self.num_series],
+        }
+    }
+}
+
+impl PatternStats {
+    /// Clears the accumulator back to the empty pattern (a new server).
+    pub fn reset(&mut self) {
+        self.var = 0.0;
+        self.cov_with.fill(0.0);
+    }
+
+    /// Folds series `u` into the pattern sum, updating `var(S)` and the
+    /// running `cov(S, ·)` vector from cached pairwise terms.
+    pub fn admit(&mut self, cache: &mut CorrelationCache, u: usize) {
+        // Read cov(S, u) *before* the cov_with update below folds
+        // cov(u, u) into it.
+        self.var += cache.variance(u) + 2.0 * self.cov_with[u];
+        for v in 0..self.cov_with.len() {
+            self.cov_with[v] += cache.covariance(u, v);
+        }
+    }
+
+    /// Population variance of the pattern sum. Clamped at zero: the
+    /// incremental update can dip a hair negative for near-constant
+    /// sums.
+    pub fn variance(&self) -> f64 {
+        self.var.max(0.0)
+    }
+
+    /// Pearson correlation of candidate `v` with the pattern's
+    /// *complementary* series `max(S) − S`, which is `−corr(S, v)`.
+    ///
+    /// Degenerate σ (below `1e-12`) on either side yields 0, matching
+    /// [`stats::pearson_correlation`] on the materialized complement.
+    pub fn complement_correlation(&self, cache: &CorrelationCache, v: usize) -> f64 {
+        let std_s = self.variance().sqrt();
+        let std_v = cache.std_dev(v);
+        if std_s < 1e-12 || std_v < 1e-12 {
+            return 0.0;
+        }
+        (-self.cov_with[v] / (std_s * std_v)).clamp(-1.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic wiggly fixtures with varied phase/scale.
+    fn fixtures(n: usize, len: usize) -> Vec<TimeSeries> {
+        (0..n)
+            .map(|i| {
+                TimeSeries::from_values(
+                    (0..len)
+                        .map(|t| {
+                            let x = (i * 7 + t * 3) % 11;
+                            5.0 + i as f64 * 0.7 + x as f64 * (1.0 + 0.2 * i as f64)
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covariance_matches_stats_bitwise() {
+        let vms = fixtures(6, 24);
+        let mut cache = CorrelationCache::new(&vms);
+        for i in 0..6 {
+            for j in 0..6 {
+                let direct = stats::covariance(vms[i].values(), vms[j].values());
+                assert_eq!(cache.covariance(i, j), direct, "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_matches_stats_bitwise() {
+        let vms = fixtures(5, 16);
+        let mut cache = CorrelationCache::new(&vms);
+        for i in 0..5 {
+            for j in 0..5 {
+                let direct = stats::pearson_correlation(vms[i].values(), vms[j].values());
+                assert_eq!(cache.correlation(i, j), direct, "pair ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_correlation_matches_materialized_complement() {
+        let vms = fixtures(8, 24);
+        let mut cache = CorrelationCache::new(&vms);
+        let mut pattern = cache.pattern();
+        let mut sum = TimeSeries::zeros(24);
+        for &u in &[3, 0, 5] {
+            pattern.admit(&mut cache, u);
+            sum.add_in_place(&vms[u]);
+        }
+        for (v, vm) in vms.iter().enumerate() {
+            let direct = sum.complementary().correlation(vm);
+            let fast = pattern.complement_correlation(&cache, v);
+            assert!(
+                (fast - direct).abs() < 1e-9,
+                "candidate {v}: {fast} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_variance_tracks_sum_variance() {
+        let vms = fixtures(6, 12);
+        let mut cache = CorrelationCache::new(&vms);
+        let mut pattern = cache.pattern();
+        let mut sum = TimeSeries::zeros(12);
+        for u in [1, 4, 2, 0] {
+            pattern.admit(&mut cache, u);
+            sum.add_in_place(&vms[u]);
+            let direct = stats::variance(sum.values());
+            assert!(
+                (pattern.variance() - direct).abs() < 1e-9 * direct.max(1.0),
+                "after admitting {u}: {} vs {direct}",
+                pattern.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn constant_pattern_is_degenerate() {
+        let vms = vec![
+            TimeSeries::constant(8, 10.0),
+            TimeSeries::from_values((0..8).map(|t| t as f64).collect()),
+        ];
+        let mut cache = CorrelationCache::new(&vms);
+        let mut pattern = cache.pattern();
+        pattern.admit(&mut cache, 0);
+        // σ(S) = 0 -> φ = 0 toward anything, as with the materialized
+        // complement path.
+        assert_eq!(pattern.complement_correlation(&cache, 1), 0.0);
+        assert_eq!(cache.correlation(0, 1), 0.0);
+    }
+
+    #[test]
+    fn anti_correlated_candidate_scores_plus_one() {
+        let day = TimeSeries::from_values(vec![30.0, 30.0, 5.0, 5.0]);
+        let night = TimeSeries::from_values(vec![5.0, 5.0, 30.0, 30.0]);
+        let vms = vec![day, night];
+        let mut cache = CorrelationCache::new(&vms);
+        let mut pattern = cache.pattern();
+        pattern.admit(&mut cache, 0);
+        assert!((pattern.complement_correlation(&cache, 1) - 1.0).abs() < 1e-12);
+        assert!((pattern.complement_correlation(&cache, 0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_the_pattern() {
+        let vms = fixtures(4, 8);
+        let mut cache = CorrelationCache::new(&vms);
+        let mut pattern = cache.pattern();
+        pattern.admit(&mut cache, 0);
+        pattern.admit(&mut cache, 2);
+        pattern.reset();
+        assert_eq!(pattern.variance(), 0.0);
+        pattern.admit(&mut cache, 1);
+        let direct = vms[1].complementary().correlation(&vms[3]);
+        assert!((pattern.complement_correlation(&cache, 3) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_series_have_zero_moments() {
+        let vms = vec![TimeSeries::constant(1, 5.0), TimeSeries::constant(1, 9.0)];
+        let mut cache = CorrelationCache::new(&vms);
+        assert_eq!(cache.variance(0), 0.0);
+        assert_eq!(cache.covariance(0, 1), 0.0);
+        assert_eq!(cache.correlation(0, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same slot")]
+    fn ragged_input_panics() {
+        let vms = vec![TimeSeries::zeros(4), TimeSeries::zeros(5)];
+        let _ = CorrelationCache::new(&vms);
+    }
+}

@@ -35,7 +35,10 @@ impl SampleGrid {
     /// multiple of `samples_per_slot`.
     pub fn new(len: usize, sample_period: Seconds, samples_per_slot: usize) -> Self {
         assert!(len > 0, "grid must contain at least one sample");
-        assert!(samples_per_slot > 0, "slot must contain at least one sample");
+        assert!(
+            samples_per_slot > 0,
+            "slot must contain at least one sample"
+        );
         assert!(
             len.is_multiple_of(samples_per_slot),
             "grid length {len} is not a whole number of slots of {samples_per_slot}"

@@ -10,7 +10,10 @@
 //!   peaks, slot windows and the *complementary pattern* operator of
 //!   Algorithms 1 and 2;
 //! * [`stats`] — Pearson correlation (the φ similarity of Eq. 2),
-//!   Euclidean distance (the Dist term of Eq. 2) and supporting moments.
+//!   Euclidean distance (the Dist term of Eq. 2) and supporting moments;
+//! * [`CorrelationCache`] / [`PatternStats`] — memoized pairwise Pearson
+//!   terms and O(1) running-pattern correlations for the allocator
+//!   candidate scans of Algorithms 1 and 2.
 //!
 //! # Examples
 //!
@@ -26,10 +29,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod corr;
 mod grid;
 pub mod rolling;
 mod series;
 pub mod stats;
 
+pub use corr::{CorrelationCache, PatternStats};
 pub use grid::SampleGrid;
 pub use series::TimeSeries;

@@ -88,12 +88,7 @@ pub fn rolling_max(series: &TimeSeries, window: usize) -> TimeSeries {
 /// # Panics
 ///
 /// Panics if either window is zero or `short >= long`.
-pub fn level_shifts(
-    series: &TimeSeries,
-    short: usize,
-    long: usize,
-    threshold: f64,
-) -> Vec<usize> {
+pub fn level_shifts(series: &TimeSeries, short: usize, long: usize, threshold: f64) -> Vec<usize> {
     assert!(short > 0 && long > 0, "windows must be positive");
     assert!(short < long, "short window must be shorter than long");
     let s = rolling_mean(series, short);

@@ -115,6 +115,24 @@ impl TimeSeries {
         }
     }
 
+    /// Overwrites `self` with `source[range]`, reusing the existing
+    /// allocation — the buffer-recycling form of [`TimeSeries::window`]
+    /// for hot loops that slice the same horizon slot after slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds for `source`.
+    pub fn copy_window_from(&mut self, source: &TimeSeries, range: Range<usize>) {
+        self.values.clear();
+        self.values.extend_from_slice(&source.values[range]);
+    }
+
+    /// Resets `self` to `len` zeros, reusing the existing allocation.
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.values.clear();
+        self.values.resize(len, 0.0);
+    }
+
     /// Element-wise sum with `other`.
     ///
     /// # Panics
@@ -186,6 +204,71 @@ impl TimeSeries {
     /// `true` if any sample exceeds `cap` by more than `eps`.
     pub fn exceeds(&self, cap: f64, eps: f64) -> bool {
         self.values.iter().any(|&v| v > cap + eps)
+    }
+
+    /// Peak of the element-wise sum with `other`, without materializing
+    /// the sum — performs the same floating-point operations as
+    /// `self.add(other).peak()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn peak_of_sum(&self, other: &TimeSeries) -> f64 {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "series length mismatch: {} vs {}",
+            self.len(),
+            other.len()
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| a + b)
+            .fold(0.0, f64::max)
+    }
+
+    /// `true` if any sample of the element-wise sum with `other` exceeds
+    /// `cap` by more than `eps` — the allocation-free form of
+    /// `self.add(other).exceeds(cap, eps)` used by the per-candidate
+    /// feasibility checks of Algorithms 1 and 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn sum_exceeds(&self, other: &TimeSeries, cap: f64, eps: f64) -> bool {
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "series length mismatch: {} vs {}",
+            self.len(),
+            other.len()
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .any(|(a, b)| a + b > cap + eps)
+    }
+
+    /// Euclidean distance from `other` to this series' remaining
+    /// capacity under `cap` — the allocation-free form of
+    /// `other.distance(&self.headroom_to(cap))` (the Dist term of
+    /// Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn headroom_distance(&self, cap: f64, other: &TimeSeries) -> f64 {
+        assert_eq!(self.len(), other.len(), "distance requires equal lengths");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(s, v)| {
+                let d = (cap - s).max(0.0) - v;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Pearson correlation with `other` (the φ of Eq. 2); 0.0 when either
@@ -291,6 +374,43 @@ mod tests {
 
     fn ts(v: &[f64]) -> TimeSeries {
         TimeSeries::from_values(v.to_vec())
+    }
+
+    #[test]
+    fn sum_helpers_match_materialized_sum() {
+        let a = ts(&[10.0, 40.0, 25.0, 5.0]);
+        let b = ts(&[30.0, 10.0, 25.0, 50.0]);
+        assert_eq!(a.peak_of_sum(&b), a.add(&b).peak());
+        for cap in [40.0, 50.0, 55.0, 60.0] {
+            assert_eq!(a.sum_exceeds(&b, cap, 1e-9), a.add(&b).exceeds(cap, 1e-9));
+        }
+    }
+
+    #[test]
+    fn headroom_distance_matches_materialized_headroom() {
+        let srv = ts(&[50.0, 90.0, 110.0, 20.0]);
+        let vm = ts(&[10.0, 5.0, 2.0, 30.0]);
+        let direct = vm.distance(&srv.headroom_to(100.0));
+        assert_eq!(srv.headroom_distance(100.0, &vm), direct);
+    }
+
+    #[test]
+    fn copy_window_reuses_the_buffer() {
+        let src = ts(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut dst = TimeSeries::zeros(3);
+        dst.copy_window_from(&src, 2..5);
+        assert_eq!(dst, src.window(2..5));
+        dst.copy_window_from(&src, 0..2);
+        assert_eq!(dst, src.window(0..2));
+    }
+
+    #[test]
+    fn reset_zeros_resizes_and_clears() {
+        let mut s = ts(&[7.0, 8.0]);
+        s.reset_zeros(4);
+        assert_eq!(s, TimeSeries::zeros(4));
+        s.reset_zeros(1);
+        assert_eq!(s, TimeSeries::zeros(1));
     }
 
     #[test]

@@ -190,9 +190,6 @@ mod tests {
 
     #[test]
     fn subtraction_saturates() {
-        assert_eq!(
-            Power::from_watts(1.0) - Power::from_watts(2.0),
-            Power::ZERO
-        );
+        assert_eq!(Power::from_watts(1.0) - Power::from_watts(2.0), Power::ZERO);
     }
 }

@@ -107,10 +107,10 @@ pub fn from_csv(
     let mut mem: Vec<f64> = Vec::new();
 
     let flush = |id: usize,
-                     class: MemClass,
-                     cpu: &mut Vec<f64>,
-                     mem: &mut Vec<f64>,
-                     line: usize|
+                 class: MemClass,
+                 cpu: &mut Vec<f64>,
+                 mem: &mut Vec<f64>,
+                 line: usize|
      -> Result<Vm, ParseFleetError> {
         if cpu.len() != samples {
             return Err(ParseFleetError::new(
@@ -155,7 +155,10 @@ pub fn from_csv(
             .parse()
             .map_err(|e| ParseFleetError::new(lineno, format!("mem: {e}")))?;
         if !cpu_v.is_finite() || !mem_v.is_finite() || cpu_v < 0.0 || mem_v < 0.0 {
-            return Err(ParseFleetError::new(lineno, "utilizations must be finite and non-negative"));
+            return Err(ParseFleetError::new(
+                lineno,
+                "utilizations must be finite and non-negative",
+            ));
         }
 
         match cur_id {

@@ -61,10 +61,8 @@ impl FleetStats {
         'outer: for i in 0..n {
             for j in (i + 1)..n {
                 if k.is_multiple_of(stride) {
-                    corr_sum += stats::pearson_correlation(
-                        vms[i].cpu.values(),
-                        vms[j].cpu.values(),
-                    );
+                    corr_sum +=
+                        stats::pearson_correlation(vms[i].cpu.values(), vms[j].cpu.values());
                     pairs += 1;
                     if pairs >= max_pairs {
                         break 'outer;
@@ -119,14 +117,17 @@ mod tests {
     #[test]
     fn correlated_groups_show_in_the_mean() {
         let corr = FleetStats::compute(
-            &ClusterTraceGenerator::google_like(48, 7)
+            &ClusterTraceGenerator::google_like(48, 18)
                 .with_shift_probability(0.0)
                 .generate(),
         )
         .mean_pairwise_correlation;
         // 12 groups of 4 VMs sharing daily profiles: the sampled mean
         // pairwise correlation is clearly positive.
-        assert!(corr > 0.1, "expected positive correlation mass, got {corr:.3}");
+        assert!(
+            corr > 0.1,
+            "expected positive correlation mass, got {corr:.3}"
+        );
     }
 
     #[test]

@@ -97,11 +97,7 @@ impl ClusterTraceGenerator {
 
     /// Generates the fleet.
     pub fn generate(&self) -> Fleet {
-        let grid = SampleGrid::new(
-            self.weeks * 2016,
-            ntc_units::Seconds::from_minutes(5.0),
-            12,
-        );
+        let grid = SampleGrid::new(self.weeks * 2016, ntc_units::Seconds::from_minutes(5.0), 12);
         let per_day = grid.samples_per_day();
         let n = grid.len();
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -214,14 +210,10 @@ mod tests {
             .with_shift_probability(0.0)
             .generate();
         // VMs 0 and 12 share group 0; VMs 0 and 6 are in different groups.
-        let same = stats::pearson_correlation(
-            fleet.vms()[0].cpu.values(),
-            fleet.vms()[12].cpu.values(),
-        );
-        let cross = stats::pearson_correlation(
-            fleet.vms()[0].cpu.values(),
-            fleet.vms()[6].cpu.values(),
-        );
+        let same =
+            stats::pearson_correlation(fleet.vms()[0].cpu.values(), fleet.vms()[12].cpu.values());
+        let cross =
+            stats::pearson_correlation(fleet.vms()[0].cpu.values(), fleet.vms()[6].cpu.values());
         assert!(
             same > cross,
             "group-mates must be more correlated: same {same:.3} vs cross {cross:.3}"

@@ -13,9 +13,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(id.index(), 7);
 /// assert_eq!(id.to_string(), "vm7");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VmId(usize);
 
 impl VmId {
@@ -122,7 +120,12 @@ impl Vm {
             mem.len(),
             "CPU and memory traces must cover the same horizon"
         );
-        Self { id, class, cpu, mem }
+        Self {
+            id,
+            class,
+            cpu,
+            mem,
+        }
     }
 
     /// Number of samples in the traces.

@@ -21,14 +21,20 @@ fn main() {
     let split = fleet.grid().len() - per_day;
 
     let predictors: Vec<(&str, Box<dyn Predictor>)> = vec![
-        ("ARIMA(2,0,1)+daily", Box::new(ArimaPredictor::daily(per_day))),
+        (
+            "ARIMA(2,0,1)+daily",
+            Box::new(ArimaPredictor::daily(per_day)),
+        ),
         ("Holt-Winters", Box::new(HoltWinters::daily(per_day))),
         ("seasonal-naive", Box::new(SeasonalNaive::new(per_day))),
     ];
 
     // --- pure forecast quality on the last day ---
     println!("=== Day-ahead CPU forecast quality ({num_vms} VMs) ===");
-    println!("{:<22} {:>10} {:>10} {:>10}", "predictor", "RMSE", "MAE", "sMAPE %");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "predictor", "RMSE", "MAE", "sMAPE %"
+    );
     for (name, p) in &predictors {
         let mut rmse = 0.0;
         let mut mae = 0.0;

@@ -3,23 +3,27 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use ntc_dc::power::{DataCenterPowerModel, ServerLoad, ServerPowerModel};
 use ntc_dc::power::proportionality::{dynamic_range, ep_index};
+use ntc_dc::power::{DataCenterPowerModel, ServerLoad, ServerPowerModel};
 use ntc_dc::units::Percent;
 
 fn main() {
     let server = ServerPowerModel::ntc();
 
     println!("NTC server (16x Cortex-A57, 28nm FD-SOI, 16MB LLC, 16GB DDR4)");
-    println!(
-        "frequency range: {} - {}\n",
-        server.fmin(),
-        server.fmax()
-    );
+    println!("frequency range: {} - {}\n", server.fmin(), server.fmax());
 
-    println!("{:<10} {:>9} {:>9} {:>9} {:>9} {:>10}", "freq", "cores W", "LLC W", "uncore W", "DRAM W", "total W");
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "freq", "cores W", "LLC W", "uncore W", "DRAM W", "total W"
+    );
     for f in server.dvfs_levels() {
-        let load = ServerLoad::mixed(Percent::FULL, 0.15, Percent::new(25.0), server.peak_read_bw());
+        let load = ServerLoad::mixed(
+            Percent::FULL,
+            0.15,
+            Percent::new(25.0),
+            server.peak_read_bw(),
+        );
         let b = server.breakdown(f, &load);
         println!(
             "{:<10} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>10.2}",

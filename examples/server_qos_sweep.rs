@@ -58,14 +58,10 @@ fn main() {
     for k in Kernel::paper_classes() {
         print!("{:<10}", k.name());
         for &f in &freqs {
-            print!(
-                " {:>8.3}",
-                efficiency::buips_per_watt(&sim, &model, &k, f)
-            );
+            print!(" {:>8.3}", efficiency::buips_per_watt(&sim, &model, &k, f));
         }
         println!();
-        let (fpk, epk) =
-            efficiency::optimal_efficiency_frequency(&sim, &model, &k, &freqs);
+        let (fpk, epk) = efficiency::optimal_efficiency_frequency(&sim, &model, &k, &freqs);
         println!("  -> peak {epk:.3} BUIPS/W at {fpk}");
     }
 }

@@ -27,6 +27,51 @@
 //! let p = server.power(Frequency::from_ghz(1.9), Percent::FULL, Percent::new(10.0));
 //! assert!(p.as_watts() > 20.0);
 //! ```
+//!
+//! # Running experiments: the [`Engine`](datacenter::Engine)
+//!
+//! Every evaluation of the paper is a sweep over independent
+//! (policy, configuration) cells. Declare the sweep once as an
+//! [`ExperimentSpec`](datacenter::ExperimentSpec) and the engine fans
+//! the cells across all cores, returning outcomes deterministically in
+//! spec order — a parallel run is bit-identical to a sequential one:
+//!
+//! ```
+//! use ntc_dc::datacenter::{Engine, ExperimentSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep(); // EPACT/COAT/COAT-OPT x NTC/conv
+//! spec.fleet.num_vms = 16; // keep the doctest fast
+//! spec.max_servers = 200;
+//! let sweep = Engine::new().run(&spec).unwrap();
+//! assert_eq!(sweep.cells.len(), 6);
+//! let epact_ntc = &sweep.cells[0];
+//! assert_eq!(epact_ntc.outcome.policy, "EPACT");
+//! ```
+//!
+//! Specs serialize to JSON via
+//! [`datacenter::spec_json`] — the same file format `ntcdc sweep
+//! --spec` reads.
+//!
+//! # Fallible construction (`try_new`) migration notes
+//!
+//! Constructors that used to panic on invalid input now come in pairs:
+//! a fallible `try_new` (or builder `build`) returning
+//! [`Result`](policy::Result) with the shared
+//! [`ntc_core::Error`](policy::Error) enum, and a `#[track_caller]`
+//! panicking `new` (or `build_or_panic`) wrapper that preserves the old
+//! behaviour and messages. Existing code keeps working; code that wants
+//! to surface configuration errors (CLI parsing, spec validation)
+//! switches to the fallible form:
+//!
+//! * `SlotContext::new` / `SlotPlan::new` → `try_new`
+//! * `OneDimAllocator::new` / `TwoDimAllocator::new` → `try_new`, with
+//!   `TwoDimAllocator::builder(..).correlation_only().build()` for the
+//!   Eq. 2 ablation
+//! * `WeekSim::new` → `WeekSim::try_new`, with
+//!   `WeekSim::builder(..).qos_floor(..).build()` for the QoS knob
+//!   (replacing the removed `with_qos_floor`)
+//! * `Engine::run` is fallible end to end and validates the spec before
+//!   fanning out
 
 #![warn(missing_docs)]
 

@@ -1,0 +1,51 @@
+//! Engine integration: a sweep over a small synthetic fleet must be
+//! bit-identical however it is scheduled, and reproduce the paper's
+//! headline ordering (EPACT saves energy over COAT on NTC servers).
+
+use ntc_dc::datacenter::{Engine, ExperimentSpec, PolicySpec, ServerSpec};
+
+fn small_sweep() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::default_sweep();
+    spec.fleet.num_vms = 24;
+    spec.max_servers = 300;
+    assert_eq!(
+        spec.cells().len(),
+        6,
+        "the default sweep must exercise >= 6 cells"
+    );
+    spec
+}
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    let spec = small_sweep();
+    let parallel = Engine::new().run(&spec).expect("parallel run");
+    let sequential = Engine::new().run_sequential(&spec).expect("sequential run");
+    assert!(Engine::new().threads() >= 1);
+    assert_eq!(parallel.cells.len(), 6);
+    // WeekOutcome derives PartialEq over every slot metric, so this is
+    // a bit-for-bit comparison of all 168 slots of all 6 cells.
+    assert_eq!(parallel.outcomes(), sequential.outcomes());
+    // And a second parallel run cannot differ either.
+    let again = Engine::with_threads(3).run(&spec).expect("second run");
+    assert_eq!(parallel.outcomes(), again.outcomes());
+}
+
+#[test]
+fn epact_saves_energy_over_coat_on_ntc() {
+    let spec = small_sweep();
+    let sweep = Engine::new().run(&spec).expect("sweep");
+    let energy = |policy: PolicySpec| {
+        sweep
+            .cells
+            .iter()
+            .find(|c| c.cell.policy == policy && c.cell.server == ServerSpec::Ntc)
+            .expect("cell present")
+            .outcome
+            .total_energy()
+    };
+    assert!(
+        energy(PolicySpec::Epact) <= energy(PolicySpec::Coat),
+        "EPACT must not spend more energy than COAT on the NTC server"
+    );
+}

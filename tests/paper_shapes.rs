@@ -136,7 +136,10 @@ fn headline_8_fig7_static_power_trend() {
     let fleet = ClusterTraceGenerator::google_like(48, 99).generate();
     let pts = experiments::fig7(&fleet, 600, &[5.0, 25.0, 45.0]);
     assert!(pts[0].saving_pct > pts[2].saving_pct);
-    assert!(pts[0].saving_pct > 10.0, "low static power strongly favours EPACT");
+    assert!(
+        pts[0].saving_pct > 10.0,
+        "low static power strongly favours EPACT"
+    );
 }
 
 #[test]

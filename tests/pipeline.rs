@@ -2,13 +2,13 @@
 //! data-center replay, exercising the crates together the way the
 //! examples do.
 
+use ntc_dc::datacenter::WeekSim;
 use ntc_dc::forecast::{metrics, ArimaPredictor, Predictor, SeasonalNaive};
 use ntc_dc::policy::{AllocationPolicy, Coat, CoatOpt, Epact, SlotContext};
 use ntc_dc::power::ServerPowerModel;
 use ntc_dc::trace::TimeSeries;
 use ntc_dc::units::Energy;
 use ntc_dc::workload::ClusterTraceGenerator;
-use ntc_dc::datacenter::WeekSim;
 
 #[test]
 fn arima_beats_naive_on_generated_traces() {
@@ -96,8 +96,7 @@ fn oracle_energy_is_a_lower_bound_for_arima_energy() {
     let with_arima = sim.run(&Epact::new(), &predictor);
     let with_oracle = sim.run_with_oracle(&Epact::new());
     assert!(
-        with_oracle.total_energy().as_joules()
-            <= with_arima.total_energy().as_joules() * 1.05,
+        with_oracle.total_energy().as_joules() <= with_arima.total_energy().as_joules() * 1.05,
         "oracle {} MJ vs ARIMA {} MJ",
         with_oracle.total_energy().as_megajoules(),
         with_arima.total_energy().as_megajoules()
@@ -129,7 +128,10 @@ fn static_power_increase_raises_everyones_energy() {
     let heavy_model =
         ServerPowerModel::ntc().with_static_power(ntc_dc::units::Power::from_watts(45.0));
     let heavy = WeekSim::new(&fleet, heavy_model, 600);
-    for policy in [&Epact::new() as &dyn AllocationPolicy] {
+    for policy in [
+        &Epact::new() as &dyn AllocationPolicy,
+        &Coat::new() as &dyn AllocationPolicy,
+    ] {
         let e_lean = lean.run_with_oracle(policy).total_energy();
         let e_heavy = heavy.run_with_oracle(policy).total_energy();
         assert!(e_heavy > e_lean, "{}", policy.name());

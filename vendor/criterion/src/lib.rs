@@ -1,0 +1,182 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real criterion
+//! cannot be fetched. The bench targets in `crates/bench` only need the
+//! basic surface — `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros — which this stub provides as a simple
+//! wall-clock harness: warm up once, run a fixed number of samples, and
+//! print min/mean/max per benchmark. No statistical analysis, plots, or
+//! HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Default number of timed samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+/// Wall-clock budget per benchmark; sampling stops early once exceeded.
+const TIME_BUDGET: Duration = Duration::from_secs(5);
+
+/// Entry point handed to every bench function by [`criterion_group!`].
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Times `f` and prints a one-line summary under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times `f` and prints a one-line summary under `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to the closure given to `bench_function`.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget_exhausted: bool,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (the whole closure is one sample).
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.budget_exhausted {
+            return;
+        }
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher::default();
+    // Warm-up sample, discarded.
+    f(&mut b);
+    b.samples.clear();
+
+    let started = Instant::now();
+    for _ in 0..sample_size {
+        f(&mut b);
+        if started.elapsed() > TIME_BUDGET {
+            b.budget_exhausted = true;
+        }
+    }
+
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples: routine never called iter)");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<40} samples {:>3}  min {:>12?}  mean {:>12?}  max {:>12?}",
+        b.samples.len(),
+        min,
+        mean,
+        max
+    );
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_returns_self() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box(2u64 + 2)
+            })
+        });
+        // one warm-up + DEFAULT_SAMPLE_SIZE timed samples
+        assert_eq!(runs, 1 + DEFAULT_SAMPLE_SIZE as u32);
+    }
+
+    #[test]
+    fn groups_respect_sample_size() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1 + 3);
+    }
+}

@@ -1,0 +1,220 @@
+//! Vendored offline stand-in for the `rand` crate (0.8-era API surface).
+//!
+//! The workspace uses `rand` only for deterministic, seeded synthesis
+//! (workload traces, address streams), always through
+//! `StdRng::seed_from_u64` — never from OS entropy. This stub implements
+//! exactly that surface on top of splitmix64-seeded xoshiro256++, which is
+//! plenty for statistical trace synthesis and fully reproducible.
+//!
+//! Supported: `rngs::StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen::<f64>()` / `::<bool>()` / `::<u64>()`, and
+//! `Rng::gen_range(a..b)` for `f64` and the common integer types.
+//! The stream is stable across runs and platforms; it does NOT match the
+//! real `rand` crate's output (nothing in the workspace depends on that).
+
+/// Core source of randomness: a 64-bit word generator.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (only the `seed_from_u64` entry point is provided).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0,1)`, integers uniform over the type,
+    /// `bool` fair).
+    fn gen<T: distributions::Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from `range` (half-open `a..b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_uniform(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0,1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Distribution plumbing for [`Rng::gen`] and [`Rng::gen_range`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// Types with a standard distribution for [`super::Rng::gen`].
+    pub trait Standard: Sized {
+        /// Draws one value from the standard distribution.
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+    }
+
+    impl Standard for f64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            // 53 high bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Standard for f32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Standard for u64 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl Standard for u32 {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Standard for bool {
+        fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Ranges usable with [`super::Rng::gen_range`].
+    pub trait SampleRange<T> {
+        /// Draws one value uniformly from the range.
+        fn sample_uniform<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    impl SampleRange<f64> for core::ops::Range<f64> {
+        fn sample_uniform<R: RngCore>(self, rng: &mut R) -> f64 {
+            assert!(self.start < self.end, "gen_range: empty range");
+            let u = f64::sample_standard(rng);
+            self.start + (self.end - self.start) * u
+        }
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange<$t> for core::ops::Range<$t> {
+                fn sample_uniform<R: RngCore>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range: empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via splitmix64 (not the real `rand` StdRng, but a stable,
+    /// high-quality stream for trace synthesis).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let x = r.gen_range(-0.5..0.5);
+            assert!((-0.5..0.5).contains(&x));
+            let n = r.gen_range(3u64..17);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,27 @@
+//! Vendored offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `serde` cannot be fetched. The sources only ever use
+//! `#[derive(Serialize, Deserialize)]` as a forward-compatibility marker —
+//! nothing in the workspace serializes through serde's data model (the
+//! actual wire formats are the hand-rolled CSV exporters in
+//! `ntc_datacenter::export` and the JSON codec in
+//! `ntc_datacenter::engine::spec_json`). This stub therefore provides the
+//! two traits as empty markers plus derive macros that emit empty impls.
+//!
+//! Swapping in the real serde later is a one-line manifest change: the
+//! trait names, derive names and module layout match.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+///
+/// Implemented via `#[derive(Serialize)]`; carries no methods in this
+/// vendored stub.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+///
+/// Implemented via `#[derive(Deserialize)]`; carries no methods (and no
+/// `'de` lifetime) in this vendored stub.
+pub trait Deserialize {}

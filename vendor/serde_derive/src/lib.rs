@@ -1,0 +1,44 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Emits empty marker impls (`impl ::serde::Serialize for T {}`). Written
+//! without `syn`/`quote` (offline build): the input item is scanned for the
+//! `struct`/`enum` keyword and the following identifier. Generic type
+//! parameters are intentionally unsupported — no serde-derived type in this
+//! workspace has them, and a generic type would fail to compile loudly here
+//! rather than silently misbehave.
+
+use proc_macro::{TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Serialize")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "Deserialize")
+}
+
+fn marker_impl(input: TokenStream, trait_name: &str) -> TokenStream {
+    let name = type_name(input)
+        .unwrap_or_else(|| panic!("#[derive({trait_name})] expects a struct or enum"));
+    format!("impl ::serde::{trait_name} for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// The identifier following the first `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return Some(name.to_string());
+                }
+            }
+        }
+    }
+    None
+}
