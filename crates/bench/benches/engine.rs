@@ -8,13 +8,18 @@ use std::hint::black_box;
 
 fn sweep_spec() -> ExperimentSpec {
     let mut spec = ExperimentSpec::default_sweep();
-    spec.fleet.num_vms = 48;
+    spec.fleets[0].num_vms = 48;
     spec.max_servers = 600;
     spec
 }
 
+/// The seed-averaged form: the same sweep over three fleet seeds.
+fn seeded_spec() -> ExperimentSpec {
+    sweep_spec().with_seeds(&[2024, 2025, 2026])
+}
+
 fn print_sweep_table() {
-    let spec = sweep_spec();
+    let spec = seeded_spec();
     let engine = Engine::new();
     let sweep = engine.run(&spec).expect("valid spec");
     println!(
@@ -24,16 +29,17 @@ fn print_sweep_table() {
         sweep.wall.as_secs_f64()
     );
     println!(
-        "{:<24} {:>10} {:>14} {:>11}",
-        "cell", "wall (ms)", "energy (MJ)", "violations"
+        "{:<24} {:>5} {:>16} {:>14} {:>16}",
+        "group (3 seeds)", "runs", "energy (MJ)", "violations", "mean servers"
     );
-    for cell in &sweep.cells {
+    for g in sweep.seed_groups() {
         println!(
-            "{:<24} {:>10.0} {:>14.1} {:>11}",
-            cell.cell.label(spec.ablation),
-            cell.wall.as_secs_f64() * 1e3,
-            cell.outcome.total_energy().as_megajoules(),
-            cell.outcome.total_violations()
+            "{:<24} {:>5} {:>16} {:>14} {:>16}",
+            g.label(spec.ablation),
+            g.runs,
+            g.energy_mj.to_string(),
+            g.violations.to_string(),
+            g.mean_active_servers.to_string()
         );
     }
 }
@@ -49,6 +55,11 @@ fn bench(c: &mut Criterion) {
     c.bench_function("engine/sweep_6cells_all_cores", |b| {
         let engine = Engine::new();
         b.iter(|| black_box(engine.run(&spec).expect("valid spec")))
+    });
+    let seeded = seeded_spec();
+    c.bench_function("engine/sweep_18cells_seed_averaged", |b| {
+        let engine = Engine::new();
+        b.iter(|| black_box(engine.run(&seeded).expect("valid spec")))
     });
 }
 

@@ -8,7 +8,7 @@
 
 #![warn(missing_docs)]
 
-use ntc_datacenter::WeekOutcome;
+use ntc_datacenter::{FleetSpec, WeekOutcome};
 use ntc_units::Frequency;
 use ntc_workload::{ClusterTraceGenerator, Fleet};
 
@@ -16,7 +16,17 @@ use ntc_workload::{ClusterTraceGenerator, Fleet};
 /// 600 VMs so a bench iteration stays in seconds; the examples run the
 /// full 600.
 pub fn bench_fleet() -> Fleet {
-    ClusterTraceGenerator::google_like(120, 2018).generate()
+    bench_fleet_spec().generate()
+}
+
+/// The declarative form of [`bench_fleet`] — what engine-based benches
+/// put on an `ExperimentSpec`'s fleet axis.
+pub fn bench_fleet_spec() -> FleetSpec {
+    FleetSpec {
+        num_vms: 120,
+        seed: 2018,
+        weeks: 2,
+    }
 }
 
 /// The full-size fleet of the paper (600 VMs).

@@ -1,6 +1,8 @@
 //! Subcommand implementations for the `ntc-dc` binary.
 
-use ntc_datacenter::{experiments, export, spec_json, Engine, ExperimentSpec, PredictorSpec};
+use ntc_datacenter::{
+    experiments, export, spec_json, Engine, ExperimentSpec, FleetSpec, PredictorSpec,
+};
 use ntc_power::ServerPowerModel;
 use ntc_units::Percent;
 use ntc_workload::{ClusterTraceGenerator, FleetStats};
@@ -15,6 +17,27 @@ fn opt_usize(args: &[String], name: &str, default: usize) -> Result<usize, Strin
             .parse()
             .map_err(|e| format!("{name}: {e}")),
     }
+}
+
+/// Parses a `--name a,b,c` comma-separated list, `None` when absent.
+fn opt_list<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<Vec<T>>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    let raw = args
+        .get(i + 1)
+        .ok_or_else(|| format!("{name} requires a comma-separated list"))?;
+    raw.split(',')
+        .map(|item| {
+            item.trim()
+                .parse::<T>()
+                .map_err(|e| format!("{name}: {item:?}: {e}"))
+        })
+        .collect::<Result<Vec<T>, String>>()
+        .map(Some)
 }
 
 fn flag(args: &[String], name: &str) -> bool {
@@ -110,8 +133,9 @@ pub fn week(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `ntc-dc sweep [--spec FILE] [--vms N] [--seed S] [--threads N]
-/// [--arima] [--emit-spec]`
+/// `ntc-dc sweep [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]
+/// [--static-power-scales X,Y] [--threads N] [--arima] [--emit-spec]
+/// [--json]`
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let mut spec = match args.iter().position(|a| a == "--spec") {
         Some(i) => {
@@ -123,8 +147,21 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
         }
         None => ExperimentSpec::default_sweep(),
     };
-    spec.fleet.num_vms = opt_usize(args, "--vms", spec.fleet.num_vms)?;
-    spec.fleet.seed = opt_usize(args, "--seed", spec.fleet.seed as usize)? as u64;
+    if let Some(seeds) = opt_list::<u64>(args, "--seeds")? {
+        spec = spec.with_seeds(&seeds);
+    }
+    if let Some(scales) = opt_list::<f64>(args, "--static-power-scales")? {
+        spec.static_power_scales = scales;
+    }
+    // --vms and --seed apply across the whole fleet set.
+    if let Some(i) = args.iter().position(|a| a == "--vms") {
+        let vms = opt_usize(&args[i..], "--vms", 0)?;
+        spec.fleets.iter_mut().for_each(|f| f.num_vms = vms);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--seed") {
+        let seed = opt_usize(&args[i..], "--seed", 0)? as u64;
+        spec.fleets.iter_mut().for_each(|f| f.seed = seed);
+    }
     spec.max_servers = opt_usize(args, "--max-servers", spec.max_servers)?;
     if flag(args, "--arima") {
         spec.predictor = PredictorSpec::Arima;
@@ -140,6 +177,11 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     };
     let sweep = engine.run(&spec).map_err(|e| e.to_string())?;
 
+    if flag(args, "--json") {
+        print!("{}", export::sweep_json(&sweep, spec.ablation));
+        return Ok(());
+    }
+
     println!(
         "sweep {:?}: {} cells on {} threads, {:.2}s wall",
         spec.name,
@@ -148,18 +190,39 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
         sweep.wall.as_secs_f64()
     );
     println!(
-        "{:<24} {:>10} {:>14} {:>11} {:>14}",
-        "cell", "wall (ms)", "energy (MJ)", "violations", "mean servers"
+        "{:<24} {:>6} {:>10} {:>14} {:>11} {:>14}",
+        "cell", "seed", "wall (ms)", "energy (MJ)", "violations", "mean servers"
     );
     for cell in &sweep.cells {
         println!(
-            "{:<24} {:>10.0} {:>14.1} {:>11} {:>14.1}",
+            "{:<24} {:>6} {:>10.0} {:>14.1} {:>11} {:>14.1}",
             cell.cell.label(spec.ablation),
+            cell.cell.fleet.seed,
             cell.wall.as_secs_f64() * 1e3,
             cell.outcome.total_energy().as_megajoules(),
             cell.outcome.total_violations(),
             cell.outcome.mean_active_servers()
         );
+    }
+    if spec.fleets.len() > 1 {
+        println!(
+            "\nseed-averaged over {} fleets (mean±std):",
+            spec.fleets.len()
+        );
+        println!(
+            "{:<24} {:>5} {:>16} {:>14} {:>16}",
+            "group", "runs", "energy (MJ)", "violations", "mean servers"
+        );
+        for g in sweep.seed_groups() {
+            println!(
+                "{:<24} {:>5} {:>16} {:>14} {:>16}",
+                g.label(spec.ablation),
+                g.runs,
+                g.energy_mj.to_string(),
+                g.violations.to_string(),
+                g.mean_active_servers.to_string()
+            );
+        }
     }
     let serial: f64 = sweep.cells.iter().map(|c| c.wall.as_secs_f64()).sum();
     if sweep.wall.as_secs_f64() > 0.0 {
@@ -174,9 +237,12 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
 
 /// `ntc-dc fig7 [--vms N] [--csv]`
 pub fn fig7(args: &[String]) -> Result<(), String> {
-    let vms = opt_usize(args, "--vms", 120)?;
-    let fleet = ClusterTraceGenerator::google_like(vms, 7).generate();
-    let pts = experiments::fig7(&fleet, 600, &[5.0, 15.0, 25.0, 35.0, 45.0]);
+    let fleet = FleetSpec {
+        num_vms: opt_usize(args, "--vms", 120)?,
+        seed: 7,
+        weeks: 2,
+    };
+    let pts = experiments::fig7(fleet, 600, &[5.0, 15.0, 25.0, 35.0, 45.0]);
     if flag(args, "--csv") {
         print!("{}", export::fig7_csv(&pts));
         return Ok(());
@@ -250,6 +316,25 @@ mod tests {
         assert_eq!(opt_usize(&s(&[]), "--vms", 7).unwrap(), 7);
         assert!(opt_usize(&s(&["--vms"]), "--vms", 7).is_err());
         assert!(opt_usize(&s(&["--vms", "x"]), "--vms", 7).is_err());
+    }
+
+    #[test]
+    fn list_parsing() {
+        assert_eq!(
+            opt_list::<u64>(&s(&["--seeds", "1,2, 3"]), "--seeds").unwrap(),
+            Some(vec![1, 2, 3])
+        );
+        assert_eq!(
+            opt_list::<f64>(
+                &s(&["--static-power-scales", "0.5,1.5"]),
+                "--static-power-scales"
+            )
+            .unwrap(),
+            Some(vec![0.5, 1.5])
+        );
+        assert_eq!(opt_list::<u64>(&s(&[]), "--seeds").unwrap(), None);
+        assert!(opt_list::<u64>(&s(&["--seeds"]), "--seeds").is_err());
+        assert!(opt_list::<u64>(&s(&["--seeds", "1,x"]), "--seeds").is_err());
     }
 
     #[test]

@@ -59,9 +59,11 @@ fn usage() -> &'static str {
      \x20 fig2                       Fig. 2: QoS-normalized execution time\n\
      \x20 fig3                       Fig. 3: efficiency (BUIPS/W)\n\
      \x20 week   [--vms N] [--csv]   Figs. 4-6: EPACT vs COAT vs COAT-OPT\n\
-     \x20 sweep  [--spec FILE] [--vms N] [--seed S] [--max-servers N]\n\
-     \x20        [--threads N] [--arima] [--emit-spec]\n\
-     \x20                            parallel sweep over an ExperimentSpec\n\
+     \x20 sweep  [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]\n\
+     \x20        [--static-power-scales X,Y] [--max-servers N]\n\
+     \x20        [--threads N] [--arima] [--emit-spec] [--json]\n\
+     \x20                            parallel sweep over an ExperimentSpec;\n\
+     \x20                            multiple seeds print mean±std groups\n\
      \x20 fig7   [--vms N] [--csv]   Fig. 7: static-power sweep\n\
      \x20 validate                   power-model constants vs the paper\n\
      \x20 fleet-stats [--vms N]      generated-workload statistics"

@@ -87,3 +87,81 @@ fn fleet_stats_prints_classes() {
     assert!(ok);
     assert!(out.contains("classes (low/mid/high):  10/10/10"), "{out}");
 }
+
+#[test]
+fn emit_spec_carries_the_new_axes() {
+    let (ok, out, _) = run(&[
+        "sweep",
+        "--seeds",
+        "1,2,3",
+        "--static-power-scales",
+        "0.5,1.0",
+        "--emit-spec",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("\"fleets\""), "{out}");
+    assert!(out.contains("\"static_power_scales\": [0.5, 1]"), "{out}");
+    // 3 fleets in the set
+    assert_eq!(out.matches("\"seed\"").count(), 3, "{out}");
+}
+
+#[test]
+fn seed_averaged_sweep_prints_mean_std_groups() {
+    let (ok, out, _) = run(&[
+        "sweep",
+        "--vms",
+        "10",
+        "--seeds",
+        "1,2",
+        "--max-servers",
+        "100",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.contains("seed-averaged over 2 fleets"), "{out}");
+    assert!(out.contains("±"), "{out}");
+    // 2 seeds x 6 configs = 12 cells
+    assert!(out.contains("12 cells"), "{out}");
+}
+
+#[test]
+fn sweep_json_mode_emits_cells_and_groups() {
+    let (ok, out, _) = run(&[
+        "sweep",
+        "--vms",
+        "8",
+        "--seeds",
+        "1,2",
+        "--static-power-scales",
+        "1.0,1.5",
+        "--max-servers",
+        "80",
+        "--json",
+    ]);
+    assert!(ok, "{out}");
+    assert!(out.trim_start().starts_with('{'), "{out}");
+    assert!(out.contains("\"cells\""), "{out}");
+    assert!(out.contains("\"groups\""), "{out}");
+    assert!(out.contains("\"static_power_scale\": 1.5"), "{out}");
+}
+
+#[test]
+fn legacy_single_fleet_spec_file_still_runs() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("ntcdc_legacy_spec.json");
+    std::fs::write(
+        &path,
+        r#"{
+  "name": "legacy",
+  "fleet": {"num_vms": 10, "seed": 3, "weeks": 2},
+  "policies": ["epact"],
+  "servers": ["ntc"],
+  "max_servers": 100
+}"#,
+    )
+    .unwrap();
+    let (ok, out, err) = run(&["sweep", "--spec", path.to_str().unwrap()]);
+    std::fs::remove_file(&path).ok();
+    assert!(ok, "{out}\n{err}");
+    assert!(out.contains("1 cells"), "{out}");
+    assert!(out.contains("EPACT/NTC"), "{out}");
+}

@@ -75,6 +75,11 @@ pub enum Error {
     },
     /// An experiment spec contains no runnable cells.
     EmptySpec,
+    /// A static-power scale factor is negative, NaN or infinite.
+    BadStaticPowerScale {
+        /// The offending scale factor.
+        scale: f64,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -135,6 +140,10 @@ impl std::fmt::Display for Error {
                  ({have} samples, need {need})"
             ),
             Self::EmptySpec => write!(f, "experiment spec needs at least one cell"),
+            Self::BadStaticPowerScale { scale } => write!(
+                f,
+                "static-power scale must be finite and non-negative (got {scale})"
+            ),
         }
     }
 }
@@ -203,6 +212,10 @@ mod tests {
                 "training week",
             ),
             (Error::EmptySpec, "at least one cell"),
+            (
+                Error::BadStaticPowerScale { scale: -1.0 },
+                "finite and non-negative",
+            ),
         ];
         for (err, needle) in cases {
             let text = err.to_string();

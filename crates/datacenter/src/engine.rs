@@ -3,12 +3,15 @@
 //! Every figure and table of the paper is a sweep over independent
 //! (policy, configuration) cells: run a [`WeekSim`] week per cell,
 //! tabulate. [`ExperimentSpec`] declares such a sweep once — policy
-//! set, server models, predictor, fleet, QoS floors and ablation flags
-//! — and [`Engine`] fans the cells across a scoped worker pool sized
-//! from [`std::thread::available_parallelism`], collecting
-//! [`WeekOutcome`]s deterministically in spec order: every cell is a
-//! pure function of the spec, so the schedule cannot change the
-//! results, only the wall-clock.
+//! set, server models, predictor, a *set* of fleets (seeds/sizes), QoS
+//! floors, static-power scales and ablation flags — and [`Engine`] fans
+//! the cells across a scoped worker pool sized from
+//! [`std::thread::available_parallelism`], collecting [`WeekOutcome`]s
+//! deterministically in spec order: every cell is a pure function of
+//! the spec, so the schedule cannot change the results, only the
+//! wall-clock. Each distinct [`FleetSpec`] is generated exactly once,
+//! behind an `Arc`, however many cells share it and however the workers
+//! interleave.
 //!
 //! # Examples
 //!
@@ -16,14 +19,31 @@
 //! use ntc_datacenter::{Engine, ExperimentSpec};
 //!
 //! let mut spec = ExperimentSpec::default_sweep();
-//! spec.fleet.num_vms = 16; // keep the doctest fast
+//! spec.fleets[0].num_vms = 16; // keep the doctest fast
 //! spec.max_servers = 200;
 //! let sweep = Engine::new().run(&spec).unwrap();
 //! assert_eq!(sweep.cells.len(), 6); // 3 policies x 2 server models
 //! ```
+//!
+//! Seed-averaged runs are one more axis of the same spec:
+//!
+//! ```
+//! use ntc_datacenter::{Engine, ExperimentSpec, PolicySpec, ServerSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep().with_seeds(&[1, 2]);
+//! spec.fleets.iter_mut().for_each(|f| f.num_vms = 10);
+//! spec.policies = vec![PolicySpec::Epact, PolicySpec::Coat];
+//! spec.servers = vec![ServerSpec::Ntc];
+//! spec.max_servers = 100;
+//! let sweep = Engine::new().run(&spec).unwrap();
+//! assert_eq!(sweep.cells.len(), 4); // 2 seeds x 2 policies
+//! let groups = sweep.seed_groups();
+//! assert_eq!(groups.len(), 2); // averaged over the fleet axis
+//! assert_eq!(groups[0].runs, 2);
+//! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use ntc_core::{AllocationPolicy, Coat, CoatOpt, Epact, Error, LoadBalance};
@@ -33,21 +53,29 @@ use ntc_units::Frequency;
 use ntc_workload::{ClusterTraceGenerator, Fleet};
 use serde::{Deserialize, Serialize};
 
-use crate::{WeekOutcome, WeekSim};
+use crate::{MeanStd, WeekOutcome, WeekSim};
 
-/// The synthetic fleet a sweep runs over (see
+/// One synthetic fleet of a sweep's fleet set (see
 /// [`ClusterTraceGenerator::google_like`]).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FleetSpec {
     /// Number of VMs.
     pub num_vms: usize,
-    /// Generator seed; the whole sweep shares one fleet.
+    /// Generator seed; every cell over this fleet shares the traces.
     pub seed: u64,
     /// Trace horizon in weeks (minimum 2: training + evaluation).
     pub weeks: usize,
 }
 
 impl FleetSpec {
+    /// 5-minute samples in one week — the generator's grid granularity.
+    pub const WEEK_SAMPLES: usize = 7 * 24 * 12;
+
+    /// Total samples this fleet's traces will carry once generated.
+    pub fn samples(&self) -> usize {
+        self.weeks * Self::WEEK_SAMPLES
+    }
+
     /// Materializes the fleet.
     pub fn generate(&self) -> Fleet {
         ClusterTraceGenerator::google_like(self.num_vms, self.seed)
@@ -129,25 +157,32 @@ pub struct AblationFlags {
     pub correlation_only: bool,
 }
 
-/// A declarative experiment sweep: the cross product of `policies`,
-/// `servers` and `qos_floors_mhz` evaluated over one shared fleet.
+/// A declarative experiment sweep: the cross product of `fleets`,
+/// `static_power_scales`, `servers`, `qos_floors_mhz` and `policies`.
 ///
 /// This is the single serde-serializable entry point the CLI `sweep`
 /// subcommand, the examples and the benches all share; see
-/// [`spec_json`](crate::spec_json) for the on-disk form.
+/// [`spec_json`](crate::spec_json) for the on-disk form. Multiple
+/// fleets model seed-averaged runs (same size, different seeds) or
+/// size sweeps; `static_power_scales` multiplies each server model's
+/// motherboard ("static") power — the Fig. 7 knob.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSpec {
     /// Display name of the sweep.
     pub name: String,
-    /// The shared synthetic fleet.
-    pub fleet: FleetSpec,
-    /// Policy set (one axis of the cell cross product).
-    pub policies: Vec<PolicySpec>,
-    /// Server-model set (second axis).
+    /// The fleet set (outermost axis of the cell cross product). Cells
+    /// over the same `FleetSpec` share one generated fleet.
+    pub fleets: Vec<FleetSpec>,
+    /// Motherboard static-power scale factors (second axis); `1.0` is
+    /// the paper's baseline server. Use `vec![1.0]` for a single arm.
+    pub static_power_scales: Vec<f64>,
+    /// Server-model set (third axis).
     pub servers: Vec<ServerSpec>,
-    /// QoS frequency floors in MHz (third axis); `None` = pure
+    /// QoS frequency floors in MHz (fourth axis); `None` = pure
     /// demand-proportional DVFS. Use `vec![None]` for a single arm.
     pub qos_floors_mhz: Vec<Option<f64>>,
+    /// Policy set (innermost axis).
+    pub policies: Vec<PolicySpec>,
     /// Forecast pipeline shared by every cell.
     pub predictor: PredictorSpec,
     /// Physical servers available to every cell.
@@ -159,47 +194,122 @@ pub struct ExperimentSpec {
 impl ExperimentSpec {
     /// The paper's headline comparison: EPACT vs COAT vs COAT-OPT on
     /// both server models, oracle predictions, no QoS floor — six
-    /// cells.
+    /// cells over one fleet.
     pub fn default_sweep() -> Self {
         Self {
             name: "policy-comparison".to_string(),
-            fleet: FleetSpec {
+            fleets: vec![FleetSpec {
                 num_vms: 48,
                 seed: 2024,
                 weeks: 2,
-            },
-            policies: vec![PolicySpec::Epact, PolicySpec::Coat, PolicySpec::CoatOpt],
+            }],
+            static_power_scales: vec![1.0],
             servers: vec![ServerSpec::Ntc, ServerSpec::Conventional],
             qos_floors_mhz: vec![None],
+            policies: vec![PolicySpec::Epact, PolicySpec::Coat, PolicySpec::CoatOpt],
             predictor: PredictorSpec::Oracle,
             max_servers: 600,
             ablation: AblationFlags::default(),
         }
     }
 
+    /// Replaces the fleet set with one fleet per seed, all sized like
+    /// the current first fleet — the seed-averaged form of this sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec currently has no fleets to use as template.
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        let base = *self.fleets.first().expect("spec needs a template fleet");
+        self.fleets = seeds
+            .iter()
+            .map(|&seed| FleetSpec { seed, ..base })
+            .collect();
+        self
+    }
+
     /// Expands the cross product into concrete cells, in the
-    /// deterministic order results are reported: servers outermost,
-    /// then QoS floors, then policies.
+    /// deterministic order results are reported: fleets outermost, then
+    /// static-power scales, then servers, then QoS floors, then
+    /// policies.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
-        for &server in &self.servers {
-            for &floor in &self.qos_floors_mhz {
-                for &policy in &self.policies {
-                    out.push(CellSpec {
-                        policy,
-                        server,
-                        qos_floor_mhz: floor,
-                    });
+        for &fleet in &self.fleets {
+            for &scale in &self.static_power_scales {
+                for &server in &self.servers {
+                    for &floor in &self.qos_floors_mhz {
+                        for &policy in &self.policies {
+                            out.push(CellSpec {
+                                fleet,
+                                static_power_scale: scale,
+                                policy,
+                                server,
+                                qos_floor_mhz: floor,
+                            });
+                        }
+                    }
                 }
             }
         }
         out
     }
+
+    /// Checks every axis before any fleet is generated.
+    fn validate(&self) -> Result<(), Error> {
+        if self.max_servers == 0 {
+            return Err(Error::NoServers);
+        }
+        for fleet in &self.fleets {
+            if fleet.num_vms == 0 {
+                return Err(Error::NoVms);
+            }
+            let need = 2 * FleetSpec::WEEK_SAMPLES;
+            if fleet.samples() < need {
+                return Err(Error::HorizonTooShort {
+                    have: fleet.samples(),
+                    need,
+                });
+            }
+        }
+        for &scale in &self.static_power_scales {
+            if !scale.is_finite() || scale < 0.0 {
+                return Err(Error::BadStaticPowerScale { scale });
+            }
+        }
+        Ok(())
+    }
 }
 
-/// One (policy, configuration) cell of a sweep.
+/// Shared label formatting for a (policy, server, floor, scale)
+/// configuration — the part of a cell's identity every fleet shares.
+fn config_label(
+    policy: PolicySpec,
+    server: ServerSpec,
+    qos_floor_mhz: Option<f64>,
+    static_power_scale: f64,
+    ablation: AblationFlags,
+) -> String {
+    let policy = policy.build(ablation);
+    let mut label = match qos_floor_mhz {
+        Some(mhz) => format!("{}/{}@{:.0}MHz", policy.name(), server.label(), mhz),
+        None => format!("{}/{}", policy.name(), server.label()),
+    };
+    if static_power_scale != 1.0 {
+        label.push_str(&format!("/sp{static_power_scale:.2}"));
+    }
+    label
+}
+
+/// One (policy, configuration) cell of a sweep, carrying the full
+/// identity of its arm: fleet, static-power scale, policy, server and
+/// QoS floor.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CellSpec {
+    /// The fleet this cell runs over.
+    pub fleet: FleetSpec,
+    /// Motherboard static-power scale applied to the server model
+    /// (`1.0` = unmodified).
+    pub static_power_scale: f64,
     /// The allocation policy under evaluation.
     pub policy: PolicySpec,
     /// The server power model.
@@ -209,14 +319,29 @@ pub struct CellSpec {
 }
 
 impl CellSpec {
-    /// Human-readable cell label, e.g. `EPACT/NTC` or
-    /// `COAT/conv@1800MHz`.
+    /// Human-readable cell label, e.g. `EPACT/NTC`,
+    /// `COAT/conv@1800MHz` or `EPACT/NTC/sp0.50` for a scaled arm.
+    /// The fleet is not part of the label — print its seed separately
+    /// when a sweep spans several.
     pub fn label(&self, ablation: AblationFlags) -> String {
-        let policy = self.policy.build(ablation);
-        match self.qos_floor_mhz {
-            Some(mhz) => format!("{}/{}@{:.0}MHz", policy.name(), self.server.label(), mhz),
-            None => format!("{}/{}", policy.name(), self.server.label()),
+        config_label(
+            self.policy,
+            self.server,
+            self.qos_floor_mhz,
+            self.static_power_scale,
+            ablation,
+        )
+    }
+
+    /// The server power model with this cell's static-power scale
+    /// applied to the motherboard component.
+    pub fn server_model(&self) -> ServerPowerModel {
+        let model = self.server.model();
+        if self.static_power_scale == 1.0 {
+            return model;
         }
+        let motherboard = model.uncore().motherboard();
+        model.with_static_power(motherboard * self.static_power_scale)
     }
 }
 
@@ -228,7 +353,8 @@ pub struct CellOutcome {
     pub cell: CellSpec,
     /// The evaluated week.
     pub outcome: WeekOutcome,
-    /// Wall-clock time this cell took on its worker.
+    /// Wall-clock time this cell took on its worker (the first cell
+    /// touching a fleet pays its generation here).
     pub wall: Duration,
 }
 
@@ -248,6 +374,127 @@ impl SweepResult {
     /// checks compare (per-cell wall-clock is scheduling noise).
     pub fn outcomes(&self) -> Vec<&WeekOutcome> {
         self.cells.iter().map(|c| &c.outcome).collect()
+    }
+
+    /// Aggregates the cells over the fleet axis: every (policy, server,
+    /// QoS floor, static-power scale) configuration becomes one group
+    /// with mean and sample standard deviation of its headline metrics
+    /// across the fleets (seeds) that ran it. Groups appear in first
+    /// spec-order occurrence, so a single-fleet sweep degenerates to
+    /// one group per cell with zero spread.
+    pub fn seed_groups(&self) -> Vec<GroupOutcome> {
+        // f64 axes are compared by bit pattern: all values of one group
+        // originate from the same spec literal, so bits match exactly.
+        type Key = (PolicySpec, ServerSpec, Option<u64>, u64);
+        let mut keys: Vec<Key> = Vec::new();
+        let mut buckets: Vec<Vec<&CellOutcome>> = Vec::new();
+        for cell in &self.cells {
+            let key = (
+                cell.cell.policy,
+                cell.cell.server,
+                cell.cell.qos_floor_mhz.map(f64::to_bits),
+                cell.cell.static_power_scale.to_bits(),
+            );
+            match keys.iter().position(|k| *k == key) {
+                Some(i) => buckets[i].push(cell),
+                None => {
+                    keys.push(key);
+                    buckets.push(vec![cell]);
+                }
+            }
+        }
+        buckets
+            .into_iter()
+            .map(|cells| {
+                let first = cells[0].cell;
+                let stat = |f: &dyn Fn(&WeekOutcome) -> f64| {
+                    MeanStd::of(&cells.iter().map(|c| f(&c.outcome)).collect::<Vec<_>>())
+                };
+                GroupOutcome {
+                    policy: first.policy,
+                    server: first.server,
+                    qos_floor_mhz: first.qos_floor_mhz,
+                    static_power_scale: first.static_power_scale,
+                    runs: cells.len(),
+                    energy_mj: stat(&|o| o.total_energy().as_megajoules()),
+                    violations: stat(&|o| o.total_violations() as f64),
+                    migrations: stat(&|o| o.total_migrations() as f64),
+                    mean_active_servers: stat(&|o| o.mean_active_servers()),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One seed-averaged configuration of a sweep: the headline metrics of
+/// every fleet that ran this (policy, server, floor, scale) arm,
+/// collapsed to mean ± sample standard deviation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupOutcome {
+    /// The allocation policy of this group.
+    pub policy: PolicySpec,
+    /// The server power model of this group.
+    pub server: ServerSpec,
+    /// Optional QoS frequency floor in MHz.
+    pub qos_floor_mhz: Option<f64>,
+    /// Motherboard static-power scale of this group.
+    pub static_power_scale: f64,
+    /// Fleets (seeds/sizes) aggregated into this group.
+    pub runs: usize,
+    /// Total energy over the horizon, megajoules.
+    pub energy_mj: MeanStd,
+    /// Total SLA violations over the horizon.
+    pub violations: MeanStd,
+    /// Total VM migrations over the horizon.
+    pub migrations: MeanStd,
+    /// Mean number of active servers.
+    pub mean_active_servers: MeanStd,
+}
+
+impl GroupOutcome {
+    /// Human-readable group label — the cell label minus the fleet.
+    pub fn label(&self, ablation: AblationFlags) -> String {
+        config_label(
+            self.policy,
+            self.server,
+            self.qos_floor_mhz,
+            self.static_power_scale,
+            ablation,
+        )
+    }
+}
+
+/// Lazily-generated fleets, one per distinct [`FleetSpec`] of the
+/// sweep. The first worker to need a fleet generates it inside the
+/// `OnceLock`; everyone else clones the `Arc`. Generation is
+/// deterministic in the spec, so which worker wins the race cannot
+/// change any result.
+#[derive(Debug)]
+struct FleetCache {
+    entries: Vec<(FleetSpec, OnceLock<Arc<Fleet>>)>,
+}
+
+impl FleetCache {
+    /// Builds an empty cache over the distinct fleet specs, preserving
+    /// first-occurrence order.
+    fn new(fleets: &[FleetSpec]) -> Self {
+        let mut entries: Vec<(FleetSpec, OnceLock<Arc<Fleet>>)> = Vec::new();
+        for &fleet in fleets {
+            if !entries.iter().any(|(f, _)| *f == fleet) {
+                entries.push((fleet, OnceLock::new()));
+            }
+        }
+        Self { entries }
+    }
+
+    /// The generated fleet for `spec`, materializing it on first use.
+    fn get(&self, spec: &FleetSpec) -> Arc<Fleet> {
+        let (_, slot) = self
+            .entries
+            .iter()
+            .find(|(f, _)| f == spec)
+            .expect("every cell's fleet comes from the spec's fleet set");
+        slot.get_or_init(|| Arc::new(spec.generate())).clone()
     }
 }
 
@@ -278,7 +525,9 @@ impl Engine {
         Self { threads }
     }
 
-    /// An engine with an explicit worker count (clamped to at least 1).
+    /// An engine with an explicit worker count, clamped to at least 1 —
+    /// `with_threads(0)` yields a sequential engine, never an empty
+    /// pool.
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
@@ -295,9 +544,9 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns an error if the spec expands to no cells, the fleet is
-    /// empty, `max_servers == 0`, or the fleet horizon is shorter than
-    /// two weeks.
+    /// Returns an error if the spec expands to no cells, any fleet is
+    /// empty or shorter than two weeks, `max_servers == 0`, or a
+    /// static-power scale is negative or non-finite.
     pub fn run(&self, spec: &ExperimentSpec) -> Result<SweepResult, Error> {
         self.run_with_workers(spec, self.threads)
     }
@@ -322,15 +571,8 @@ impl Engine {
         if cells.is_empty() {
             return Err(Error::EmptySpec);
         }
-        if spec.fleet.num_vms == 0 {
-            return Err(Error::NoVms);
-        }
-        let fleet = spec.fleet.generate();
-        // Validate the shared configuration once, before fanning out:
-        // every cell shares the fleet horizon and server budget.
-        for &server in &spec.servers {
-            WeekSim::try_new(&fleet, server.model(), spec.max_servers)?;
-        }
+        spec.validate()?;
+        let cache = FleetCache::new(&spec.fleets);
 
         let workers = threads.min(cells.len()).max(1);
         let next = AtomicUsize::new(0);
@@ -338,11 +580,11 @@ impl Engine {
             cells.iter().map(|_| Mutex::new(None)).collect();
 
         if workers == 1 {
-            drain_cells(&next, &cells, &slots, spec, &fleet);
+            drain_cells(&next, &cells, &slots, spec, &cache);
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &fleet));
+                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &cache));
                 }
             });
         }
@@ -370,28 +612,30 @@ fn drain_cells(
     cells: &[CellSpec],
     slots: &[Mutex<Option<CellOutcome>>],
     spec: &ExperimentSpec,
-    fleet: &Fleet,
+    cache: &FleetCache,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(cell) = cells.get(i) else { break };
-        let outcome = run_cell(spec, fleet, cell);
+        let outcome = run_cell(spec, cache, cell);
         *slots[i].lock().expect("no panics while holding the slot") = Some(outcome);
     }
 }
 
-/// Evaluates one cell: build the simulator, instantiate the policy and
-/// predictor, run the week. Pure in (spec, fleet, cell) — the
-/// determinism guarantee rests here.
-fn run_cell(spec: &ExperimentSpec, fleet: &Fleet, cell: &CellSpec) -> CellOutcome {
+/// Evaluates one cell: resolve the fleet through the cache, build the
+/// simulator with the scaled server model, instantiate the policy and
+/// predictor, run the week. Pure in (spec, cell) — the determinism
+/// guarantee rests here.
+fn run_cell(spec: &ExperimentSpec, cache: &FleetCache, cell: &CellSpec) -> CellOutcome {
     let started = Instant::now();
-    let mut builder = WeekSim::builder(fleet, cell.server.model(), spec.max_servers);
+    let fleet = cache.get(&cell.fleet);
+    let mut builder = WeekSim::builder(&fleet, cell.server_model(), spec.max_servers);
     if let Some(mhz) = cell.qos_floor_mhz {
         builder = builder.qos_floor(Frequency::from_mhz(mhz));
     }
     let sim = builder
         .build()
-        .expect("shared fleet and budget validated before fan-out");
+        .expect("fleets and budget validated before fan-out");
     let policy = cell.policy.build(spec.ablation);
     let per_day = fleet.grid().samples_per_day();
     let outcome = match spec.predictor {
@@ -412,7 +656,7 @@ mod tests {
 
     fn tiny_spec() -> ExperimentSpec {
         let mut spec = ExperimentSpec::default_sweep();
-        spec.fleet.num_vms = 12;
+        spec.fleets[0].num_vms = 12;
         spec.max_servers = 100;
         spec.servers = vec![ServerSpec::Ntc];
         spec
@@ -429,6 +673,32 @@ mod tests {
     }
 
     #[test]
+    fn fleet_and_scale_axes_multiply_cells() {
+        let spec = tiny_spec()
+            .with_seeds(&[1, 2, 3])
+            .tap(|s| s.static_power_scales = vec![0.5, 1.0]);
+        let cells = spec.cells();
+        // 3 fleets x 2 scales x 1 server x 1 floor x 3 policies
+        assert_eq!(cells.len(), 18);
+        // fleets outermost: first 6 cells share seed 1
+        assert!(cells[..6].iter().all(|c| c.fleet.seed == 1));
+        assert_eq!(cells[0].static_power_scale, 0.5);
+        assert_eq!(cells[3].static_power_scale, 1.0);
+        assert_eq!(cells[6].fleet.seed, 2);
+    }
+
+    /// Small helper so the fixture above stays an expression.
+    trait Tap: Sized {
+        fn tap(self, f: impl FnOnce(&mut Self)) -> Self;
+    }
+    impl Tap for ExperimentSpec {
+        fn tap(mut self, f: impl FnOnce(&mut Self)) -> Self {
+            f(&mut self);
+            self
+        }
+    }
+
+    #[test]
     fn empty_policy_set_is_rejected() {
         let mut spec = tiny_spec();
         spec.policies.clear();
@@ -437,9 +707,17 @@ mod tests {
     }
 
     #[test]
+    fn empty_fleet_set_is_rejected() {
+        let mut spec = tiny_spec();
+        spec.fleets.clear();
+        let err = Engine::with_threads(2).run(&spec).unwrap_err();
+        assert!(matches!(err, Error::EmptySpec));
+    }
+
+    #[test]
     fn empty_fleet_is_rejected() {
         let mut spec = tiny_spec();
-        spec.fleet.num_vms = 0;
+        spec.fleets[0].num_vms = 0;
         let err = Engine::with_threads(2).run(&spec).unwrap_err();
         assert!(matches!(err, Error::NoVms));
     }
@@ -447,9 +725,33 @@ mod tests {
     #[test]
     fn short_horizon_is_rejected() {
         let mut spec = tiny_spec();
-        spec.fleet.weeks = 1;
+        spec.fleets[0].weeks = 1;
         let err = Engine::with_threads(2).run(&spec).unwrap_err();
         assert!(matches!(err, Error::HorizonTooShort { .. }));
+    }
+
+    #[test]
+    fn bad_static_power_scale_is_rejected() {
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            let mut spec = tiny_spec();
+            spec.static_power_scales = vec![1.0, bad];
+            let err = Engine::with_threads(2).run(&spec).unwrap_err();
+            assert!(
+                matches!(err, Error::BadStaticPowerScale { .. }),
+                "{bad} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_threads_zero_clamps_to_one() {
+        // Regression: a zero-thread pool must not be constructible —
+        // it would spawn no workers and hang/return nothing.
+        let engine = Engine::with_threads(0);
+        assert_eq!(engine.threads(), 1);
+        let sweep = engine.run(&tiny_spec()).unwrap();
+        assert_eq!(sweep.threads, 1);
+        assert_eq!(sweep.cells.len(), 3);
     }
 
     #[test]
@@ -485,5 +787,57 @@ mod tests {
             assert_eq!(plain.cell.policy, floored.cell.policy);
             assert!(floored.outcome.total_energy() >= plain.outcome.total_energy());
         }
+    }
+
+    #[test]
+    fn duplicate_fleets_share_one_generation() {
+        // Two identical FleetSpecs dedup to one cache entry, and their
+        // cells produce identical outcomes.
+        let mut spec = tiny_spec();
+        spec.fleets = vec![spec.fleets[0], spec.fleets[0]];
+        spec.policies = vec![PolicySpec::Epact];
+        let sweep = Engine::with_threads(2).run(&spec).unwrap();
+        assert_eq!(sweep.cells.len(), 2);
+        assert_eq!(sweep.cells[0].outcome, sweep.cells[1].outcome);
+        let groups = sweep.seed_groups();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].runs, 2);
+        assert_eq!(groups[0].energy_mj.std, 0.0);
+    }
+
+    #[test]
+    fn seed_groups_average_over_the_fleet_axis() {
+        let mut spec = tiny_spec().with_seeds(&[5, 6]);
+        spec.policies = vec![PolicySpec::Epact, PolicySpec::Coat];
+        let sweep = Engine::with_threads(4).run(&spec).unwrap();
+        assert_eq!(sweep.cells.len(), 4);
+        let groups = sweep.seed_groups();
+        assert_eq!(groups.len(), 2);
+        for (g, policy) in groups.iter().zip([PolicySpec::Epact, PolicySpec::Coat]) {
+            assert_eq!(g.policy, policy);
+            assert_eq!(g.runs, 2);
+            let per_seed: Vec<f64> = sweep
+                .cells
+                .iter()
+                .filter(|c| c.cell.policy == policy)
+                .map(|c| c.outcome.total_energy().as_megajoules())
+                .collect();
+            let mean = (per_seed[0] + per_seed[1]) / 2.0;
+            assert!((g.energy_mj.mean - mean).abs() < 1e-9);
+            assert!(g.energy_mj.std >= 0.0);
+        }
+    }
+
+    #[test]
+    fn static_power_scale_raises_energy() {
+        let mut spec = tiny_spec();
+        spec.policies = vec![PolicySpec::Epact];
+        spec.static_power_scales = vec![0.5, 2.0];
+        let sweep = Engine::with_threads(2).run(&spec).unwrap();
+        assert_eq!(sweep.cells.len(), 2);
+        assert!(
+            sweep.cells[0].outcome.total_energy() < sweep.cells[1].outcome.total_energy(),
+            "more static power must cost more energy"
+        );
     }
 }

@@ -13,6 +13,9 @@ use ntc_power::{DataCenterPowerModel, ServerPowerModel};
 use ntc_units::{Frequency, Percent, Power};
 use ntc_workload::Fleet;
 
+use crate::engine::{
+    AblationFlags, Engine, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
+};
 use crate::{WeekOutcome, WeekSim};
 
 /// One row of Table I: a workload class's execution times across the
@@ -186,20 +189,44 @@ pub struct Fig7Point {
 /// Regenerates Fig. 7: EPACT-vs-COAT saving as the per-server static
 /// power sweeps from efficient (5 W) to power-hungry (45 W). Uses
 /// oracle predictions to isolate the static-power effect.
-pub fn fig7(fleet: &Fleet, max_servers: usize, static_watts: &[f64]) -> Vec<Fig7Point> {
-    static_watts
-        .iter()
-        .map(|&w| {
-            let server = ServerPowerModel::ntc().with_static_power(Power::from_watts(w));
-            let sim = WeekSim::new(fleet, server, max_servers);
-            let epact = sim.run_with_oracle(&Epact::new());
-            let coat = sim.run_with_oracle(&Coat::new());
-            let saving = epact.energy_saving_vs(&coat) * 100.0;
+///
+/// The sweep is one [`ExperimentSpec`] with `static_watts` expressed on
+/// the engine's static-power-scale axis (relative to the NTC server's
+/// baseline motherboard power), run through [`Engine::run`] — no
+/// private loop.
+///
+/// # Panics
+///
+/// Panics if `static_watts` is empty or contains a negative or
+/// non-finite value, or if the fleet is empty or shorter than two
+/// weeks.
+pub fn fig7(fleet: FleetSpec, max_servers: usize, static_watts: &[f64]) -> Vec<Fig7Point> {
+    let baseline = ServerPowerModel::ntc().uncore().motherboard().as_watts();
+    let spec = ExperimentSpec {
+        name: "fig7-static-power".to_string(),
+        fleets: vec![fleet],
+        static_power_scales: static_watts.iter().map(|&w| w / baseline).collect(),
+        servers: vec![ServerSpec::Ntc],
+        qos_floors_mhz: vec![None],
+        policies: vec![PolicySpec::Epact, PolicySpec::Coat],
+        predictor: PredictorSpec::Oracle,
+        max_servers,
+        ablation: AblationFlags::default(),
+    };
+    let sweep = Engine::new().run(&spec).expect("fig7 spec must be valid");
+    // Cells in spec order: scales outermost, [EPACT, COAT] per scale.
+    sweep
+        .cells
+        .chunks_exact(2)
+        .zip(static_watts)
+        .map(|(pair, &w)| {
+            let epact = &pair[0].outcome;
+            let coat = &pair[1].outcome;
             Fig7Point {
                 static_power: Power::from_watts(w),
                 epact_energy: epact.total_energy(),
                 coat_energy: coat.total_energy(),
-                saving_pct: saving,
+                saving_pct: epact.energy_saving_vs(coat) * 100.0,
             }
         })
         .collect()
@@ -341,8 +368,12 @@ mod tests {
 
     #[test]
     fn fig7_saving_decreases_with_static_power() {
-        let fleet = ClusterTraceGenerator::google_like(36, 77).generate();
-        let pts = fig7(&fleet, 600, &[5.0, 45.0]);
+        let fleet = FleetSpec {
+            num_vms: 36,
+            seed: 77,
+            weeks: 2,
+        };
+        let pts = fig7(fleet, 600, &[5.0, 45.0]);
         assert_eq!(pts.len(), 2);
         assert!(
             pts[0].saving_pct > pts[1].saving_pct,

@@ -1,10 +1,15 @@
-//! CSV export of experiment results — so the regenerated figures can be
-//! plotted with any external tool.
+//! CSV and JSON export of experiment results — so the regenerated
+//! figures can be plotted with any external tool. The JSON emitters are
+//! built on the same [`Value`] writer the spec codec uses
+//! ([`spec_json`](crate::spec_json)); there is no second hand-rolled
+//! emitter to drift.
 
 use std::fmt::Write as _;
 
+use crate::engine::SweepResult;
 use crate::experiments::{Fig1Curve, Fig2Series, Fig3Series, Fig7Point};
-use crate::WeekOutcome;
+use crate::spec_json::{policy_tag, server_tag, Value};
+use crate::{AblationFlags, WeekOutcome};
 
 /// Renders the per-slot series of several week outcomes side by side
 /// (Figs. 4–6 in one table): columns
@@ -107,9 +112,139 @@ pub fn fig7_csv(points: &[Fig7Point]) -> String {
     out
 }
 
+/// Renders week outcomes as JSON: one object per outcome with the
+/// policy name, headline totals and the per-slot series (the same data
+/// [`week_csv`] tabulates, in a structured form).
+pub fn week_json(outcomes: &[WeekOutcome]) -> String {
+    let rows = outcomes.iter().map(week_value).collect();
+    Value::Array(rows).render()
+}
+
+fn week_value(outcome: &WeekOutcome) -> Value {
+    let series = |f: &dyn Fn(&crate::SlotOutcome) -> f64| {
+        Value::Array(outcome.slots.iter().map(|s| Value::Number(f(s))).collect())
+    };
+    Value::Object(vec![
+        ("policy".into(), Value::String(outcome.policy.clone())),
+        ("slots".into(), Value::Number(outcome.slots.len() as f64)),
+        (
+            "total_energy_mj".into(),
+            Value::Number(outcome.total_energy().as_megajoules()),
+        ),
+        (
+            "total_violations".into(),
+            Value::Number(outcome.total_violations() as f64),
+        ),
+        (
+            "total_migrations".into(),
+            Value::Number(outcome.total_migrations() as f64),
+        ),
+        (
+            "mean_active_servers".into(),
+            Value::Number(outcome.mean_active_servers()),
+        ),
+        ("energy_mj".into(), series(&|s| s.energy.as_megajoules())),
+        ("violations".into(), series(&|s| s.violations as f64)),
+        (
+            "active_servers".into(),
+            series(&|s| s.active_servers as f64),
+        ),
+        ("migrations".into(), series(&|s| s.migrations as f64)),
+    ])
+}
+
+/// Renders a completed sweep as JSON: a `cells` array carrying each
+/// cell's full identity (fleet, static-power scale, policy, server, QoS
+/// floor) with its headline metrics, and a `groups` array with the
+/// seed-averaged mean±std rows from [`SweepResult::seed_groups`].
+pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
+    let cells = sweep
+        .cells
+        .iter()
+        .map(|c| {
+            let spec = c.cell;
+            Value::Object(vec![
+                ("label".into(), Value::String(spec.label(ablation))),
+                (
+                    "policy".into(),
+                    Value::String(policy_tag(spec.policy).into()),
+                ),
+                (
+                    "server".into(),
+                    Value::String(server_tag(spec.server).into()),
+                ),
+                (
+                    "qos_floor_mhz".into(),
+                    spec.qos_floor_mhz.map_or(Value::Null, Value::Number),
+                ),
+                (
+                    "static_power_scale".into(),
+                    Value::Number(spec.static_power_scale),
+                ),
+                ("num_vms".into(), Value::Number(spec.fleet.num_vms as f64)),
+                ("seed".into(), Value::Number(spec.fleet.seed as f64)),
+                ("weeks".into(), Value::Number(spec.fleet.weeks as f64)),
+                (
+                    "energy_mj".into(),
+                    Value::Number(c.outcome.total_energy().as_megajoules()),
+                ),
+                (
+                    "violations".into(),
+                    Value::Number(c.outcome.total_violations() as f64),
+                ),
+                (
+                    "migrations".into(),
+                    Value::Number(c.outcome.total_migrations() as f64),
+                ),
+                (
+                    "mean_active_servers".into(),
+                    Value::Number(c.outcome.mean_active_servers()),
+                ),
+            ])
+        })
+        .collect();
+    let groups = sweep
+        .seed_groups()
+        .iter()
+        .map(|g| {
+            let stat = |ms: crate::MeanStd| {
+                Value::Object(vec![
+                    ("mean".into(), Value::Number(ms.mean)),
+                    ("std".into(), Value::Number(ms.std)),
+                ])
+            };
+            Value::Object(vec![
+                ("label".into(), Value::String(g.label(ablation))),
+                ("policy".into(), Value::String(policy_tag(g.policy).into())),
+                ("server".into(), Value::String(server_tag(g.server).into())),
+                (
+                    "qos_floor_mhz".into(),
+                    g.qos_floor_mhz.map_or(Value::Null, Value::Number),
+                ),
+                (
+                    "static_power_scale".into(),
+                    Value::Number(g.static_power_scale),
+                ),
+                ("runs".into(), Value::Number(g.runs as f64)),
+                ("energy_mj".into(), stat(g.energy_mj)),
+                ("violations".into(), stat(g.violations)),
+                ("migrations".into(), stat(g.migrations)),
+                ("mean_active_servers".into(), stat(g.mean_active_servers)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        ("threads".into(), Value::Number(sweep.threads as f64)),
+        ("cells".into(), Value::Array(cells)),
+        ("groups".into(), Value::Array(groups)),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec_json::parse_value;
     use crate::SlotOutcome;
     use ntc_units::{Energy, Frequency};
 
@@ -152,5 +287,56 @@ mod tests {
     #[should_panic(expected = "same horizon")]
     fn ragged_outcomes_rejected() {
         let _ = week_csv(&[outcome("A", 2), outcome("B", 3)]);
+    }
+
+    #[test]
+    fn week_json_is_well_formed_and_complete() {
+        let json = week_json(&[outcome("EPACT", 3), outcome("COAT", 3)]);
+        let value = parse_value(&json).expect("emitted JSON must parse");
+        let rows = value.as_array("root").unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_object("row").unwrap();
+        let field = |name: &str| &first.iter().find(|(k, _)| k == name).unwrap().1;
+        assert_eq!(field("policy").as_string("policy").unwrap(), "EPACT");
+        assert_eq!(field("slots").as_f64("slots").unwrap(), 3.0);
+        assert_eq!(field("total_violations").as_f64("v").unwrap(), 3.0);
+        assert_eq!(field("energy_mj").as_array("e").unwrap().len(), 3);
+        assert_eq!(field("violations").as_array("v").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sweep_json_carries_cells_and_seed_groups() {
+        use crate::{Engine, ExperimentSpec, PolicySpec, ServerSpec};
+        let mut spec = ExperimentSpec::default_sweep().with_seeds(&[1, 2]);
+        spec.fleets.iter_mut().for_each(|f| f.num_vms = 8);
+        spec.policies = vec![PolicySpec::Epact];
+        spec.servers = vec![ServerSpec::Ntc];
+        spec.max_servers = 80;
+        let sweep = Engine::with_threads(2).run(&spec).unwrap();
+        let json = sweep_json(&sweep, spec.ablation);
+        let value = parse_value(&json).expect("emitted JSON must parse");
+        let obj = value.as_object("root").unwrap();
+        let field = |name: &str| &obj.iter().find(|(k, _)| k == name).unwrap().1;
+        let cells = field("cells").as_array("cells").unwrap();
+        assert_eq!(cells.len(), 2);
+        let seed_of = |cell: &Value| {
+            let fields = cell.as_object("cell").unwrap();
+            fields
+                .iter()
+                .find(|(k, _)| k == "seed")
+                .unwrap()
+                .1
+                .as_u64("seed")
+                .unwrap()
+        };
+        assert_eq!(seed_of(&cells[0]), 1);
+        assert_eq!(seed_of(&cells[1]), 2);
+        let groups = field("groups").as_array("groups").unwrap();
+        assert_eq!(groups.len(), 1);
+        let group = groups[0].as_object("group").unwrap();
+        let runs = &group.iter().find(|(k, _)| k == "runs").unwrap().1;
+        assert_eq!(runs.as_f64("runs").unwrap(), 2.0);
+        let energy = &group.iter().find(|(k, _)| k == "energy_mj").unwrap().1;
+        assert!(energy.as_object("energy").is_ok(), "mean/std object");
     }
 }

@@ -35,8 +35,8 @@ pub mod spec_json;
 mod weeksim;
 
 pub use engine::{
-    AblationFlags, CellOutcome, CellSpec, Engine, ExperimentSpec, FleetSpec, PolicySpec,
-    PredictorSpec, ServerSpec, SweepResult,
+    AblationFlags, CellOutcome, CellSpec, Engine, ExperimentSpec, FleetSpec, GroupOutcome,
+    PolicySpec, PredictorSpec, ServerSpec, SweepResult,
 };
-pub use outcome::{SlotOutcome, WeekOutcome};
+pub use outcome::{MeanStd, SlotOutcome, WeekOutcome};
 pub use weeksim::{WeekSim, WeekSimBuilder};

@@ -1,6 +1,44 @@
 use ntc_units::{Energy, Frequency};
 use serde::{Deserialize, Serialize};
 
+/// A mean and sample standard deviation over a set of runs — the unit
+/// of seed-averaged reporting (`mean ± std`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanStd {
+    /// Arithmetic mean of the values.
+    pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator); `0.0` for
+    /// fewer than two values.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Collapses `values` to mean ± sample standard deviation.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                mean: 0.0,
+                std: 0.0,
+            };
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let std = if values.len() < 2 {
+            0.0
+        } else {
+            let ss = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>();
+            (ss / (n - 1.0)).sqrt()
+        };
+        Self { mean, std }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}±{:.1}", self.mean, self.std)
+    }
+}
+
 /// What happened in one allocation slot (one hour, 12 samples).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SlotOutcome {
@@ -114,6 +152,28 @@ mod tests {
         assert_eq!(w.mean_active_servers(), 15.0);
         assert_eq!(w.total_energy(), Energy::from_megajoules(20.0));
         assert_eq!(w.energy_series_mj(), vec![5.0, 15.0]);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(
+            MeanStd::of(&[]),
+            MeanStd {
+                mean: 0.0,
+                std: 0.0
+            }
+        );
+        assert_eq!(
+            MeanStd::of(&[3.0]),
+            MeanStd {
+                mean: 3.0,
+                std: 0.0
+            }
+        );
+        let ms = MeanStd::of(&[2.0, 4.0, 6.0]);
+        assert!((ms.mean - 4.0).abs() < 1e-12);
+        assert!((ms.std - 2.0).abs() < 1e-12); // sample std of 2,4,6
+        assert_eq!(ms.to_string(), "4.0±2.0");
     }
 
     #[test]

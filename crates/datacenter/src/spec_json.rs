@@ -1,5 +1,7 @@
 //! JSON (de)serialization for [`ExperimentSpec`] — the on-disk form the
-//! CLI `sweep` subcommand reads and writes.
+//! CLI `sweep` subcommand reads and writes — plus the crate's shared
+//! JSON [`Value`] writer that [`export`](crate::export) reuses for
+//! result emission, so there is exactly one JSON emitter in the tree.
 //!
 //! # Examples
 //!
@@ -17,71 +19,93 @@ use crate::engine::{
 
 /// Renders `spec` as pretty-printed JSON.
 pub fn to_json(spec: &ExperimentSpec) -> String {
+    let fleets = spec.fleets.iter().map(fleet_value).collect();
     let policies = spec
         .policies
         .iter()
-        .map(|p| format!("\"{}\"", policy_tag(*p)))
-        .collect::<Vec<_>>()
-        .join(", ");
+        .map(|&p| Value::String(policy_tag(p).to_string()))
+        .collect();
     let servers = spec
         .servers
         .iter()
-        .map(|s| format!("\"{}\"", server_tag(*s)))
-        .collect::<Vec<_>>()
-        .join(", ");
+        .map(|&s| Value::String(server_tag(s).to_string()))
+        .collect();
     let floors = spec
         .qos_floors_mhz
         .iter()
         .map(|f| match f {
-            Some(mhz) => format!("{mhz}"),
-            None => "null".to_string(),
+            Some(mhz) => Value::Number(*mhz),
+            None => Value::Null,
         })
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!(
-        concat!(
-            "{{\n",
-            "  \"name\": \"{name}\",\n",
-            "  \"fleet\": {{\"num_vms\": {num_vms}, \"seed\": {seed}, \"weeks\": {weeks}}},\n",
-            "  \"policies\": [{policies}],\n",
-            "  \"servers\": [{servers}],\n",
-            "  \"qos_floors_mhz\": [{floors}],\n",
-            "  \"predictor\": \"{predictor}\",\n",
-            "  \"max_servers\": {max_servers},\n",
-            "  \"correlation_only\": {correlation_only}\n",
-            "}}\n"
+        .collect();
+    let scales = spec
+        .static_power_scales
+        .iter()
+        .map(|&s| Value::Number(s))
+        .collect();
+    Value::Object(vec![
+        ("name".into(), Value::String(spec.name.clone())),
+        ("fleets".into(), Value::Array(fleets)),
+        ("policies".into(), Value::Array(policies)),
+        ("servers".into(), Value::Array(servers)),
+        ("qos_floors_mhz".into(), Value::Array(floors)),
+        ("static_power_scales".into(), Value::Array(scales)),
+        (
+            "predictor".into(),
+            Value::String(predictor_tag(spec.predictor).to_string()),
         ),
-        name = escape(&spec.name),
-        num_vms = spec.fleet.num_vms,
-        seed = spec.fleet.seed,
-        weeks = spec.fleet.weeks,
-        policies = policies,
-        servers = servers,
-        floors = floors,
-        predictor = predictor_tag(spec.predictor),
-        max_servers = spec.max_servers,
-        correlation_only = spec.ablation.correlation_only,
-    )
+        ("max_servers".into(), Value::Number(spec.max_servers as f64)),
+        (
+            "correlation_only".into(),
+            Value::Bool(spec.ablation.correlation_only),
+        ),
+    ])
+    .render()
+}
+
+fn fleet_value(fleet: &FleetSpec) -> Value {
+    Value::Object(vec![
+        ("num_vms".into(), Value::Number(fleet.num_vms as f64)),
+        ("seed".into(), Value::Number(fleet.seed as f64)),
+        ("weeks".into(), Value::Number(fleet.weeks as f64)),
+    ])
+}
+
+fn parse_fleet(val: &Value, path: &str) -> Result<FleetSpec, String> {
+    let mut fleet = FleetSpec {
+        num_vms: 0,
+        seed: 0,
+        weeks: 2,
+    };
+    for (fkey, fval) in val.as_object(path)? {
+        match fkey.as_str() {
+            "num_vms" => fleet.num_vms = fval.as_usize(&format!("{path}.num_vms"))?,
+            "seed" => fleet.seed = fval.as_u64(&format!("{path}.seed"))?,
+            "weeks" => fleet.weeks = fval.as_usize(&format!("{path}.weeks"))?,
+            other => return Err(format!("unknown field {path}.{other}")),
+        }
+    }
+    Ok(fleet)
 }
 
 /// Parses a spec from JSON text.
 ///
-/// Unknown fields are rejected, missing fields report their path.
+/// Unknown fields are rejected, missing fields report their path. A
+/// legacy single-fleet spec (`"fleet": {...}` instead of the
+/// `"fleets": [...]` axis, no `static_power_scales`) parses into the
+/// equivalent one-fleet, scale-1.0 sweep.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message describing the first syntax or
 /// schema problem encountered.
 pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
-    let value = Parser::new(text).parse()?;
+    let value = parse_value(text)?;
     let obj = value.as_object("spec")?;
     let mut spec = ExperimentSpec {
         name: String::new(),
-        fleet: FleetSpec {
-            num_vms: 0,
-            seed: 0,
-            weeks: 2,
-        },
+        fleets: Vec::new(),
+        static_power_scales: Vec::new(),
         policies: Vec::new(),
         servers: Vec::new(),
         qos_floors_mhz: Vec::new(),
@@ -90,18 +114,20 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
         ablation: AblationFlags::default(),
     };
     let mut seen_fleet = false;
+    let mut seen_fleets = false;
     for (key, val) in obj {
         match key.as_str() {
             "name" => spec.name = val.as_string("name")?.to_string(),
+            // Legacy single-fleet form, kept parseable forever.
             "fleet" => {
                 seen_fleet = true;
-                for (fkey, fval) in val.as_object("fleet")? {
-                    match fkey.as_str() {
-                        "num_vms" => spec.fleet.num_vms = fval.as_usize("fleet.num_vms")?,
-                        "seed" => spec.fleet.seed = fval.as_u64("fleet.seed")?,
-                        "weeks" => spec.fleet.weeks = fval.as_usize("fleet.weeks")?,
-                        other => return Err(format!("unknown field fleet.{other}")),
-                    }
+                spec.fleets.push(parse_fleet(val, "fleet")?);
+            }
+            "fleets" => {
+                seen_fleets = true;
+                for (i, item) in val.as_array("fleets")?.iter().enumerate() {
+                    spec.fleets
+                        .push(parse_fleet(item, &format!("fleets[{i}]"))?);
                 }
             }
             "policies" => {
@@ -124,6 +150,12 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
                     });
                 }
             }
+            "static_power_scales" => {
+                for (i, item) in val.as_array("static_power_scales")?.iter().enumerate() {
+                    spec.static_power_scales
+                        .push(item.as_f64(&format!("static_power_scales[{i}]"))?);
+                }
+            }
             "predictor" => spec.predictor = parse_predictor(val.as_string("predictor")?)?,
             "max_servers" => spec.max_servers = val.as_usize("max_servers")?,
             "correlation_only" => {
@@ -132,16 +164,22 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
             other => return Err(format!("unknown field {other}")),
         }
     }
-    if !seen_fleet {
-        return Err("missing field fleet".to_string());
+    if seen_fleet && seen_fleets {
+        return Err("specify either fleet (legacy) or fleets, not both".to_string());
+    }
+    if !seen_fleet && !seen_fleets {
+        return Err("missing field fleets (or legacy fleet)".to_string());
     }
     if spec.qos_floors_mhz.is_empty() {
         spec.qos_floors_mhz.push(None);
     }
+    if spec.static_power_scales.is_empty() {
+        spec.static_power_scales.push(1.0);
+    }
     Ok(spec)
 }
 
-fn policy_tag(p: PolicySpec) -> &'static str {
+pub(crate) fn policy_tag(p: PolicySpec) -> &'static str {
     match p {
         PolicySpec::Epact => "epact",
         PolicySpec::Coat => "coat",
@@ -162,7 +200,7 @@ fn parse_policy(tag: &str) -> Result<PolicySpec, String> {
     }
 }
 
-fn server_tag(s: ServerSpec) -> &'static str {
+pub(crate) fn server_tag(s: ServerSpec) -> &'static str {
     match s {
         ServerSpec::Ntc => "ntc",
         ServerSpec::Conventional => "conventional",
@@ -209,9 +247,16 @@ fn escape(s: &str) -> String {
         .collect()
 }
 
-/// The JSON subset the spec format needs.
+/// Parses arbitrary JSON text into a [`Value`] tree (crate-internal:
+/// the export tests use it to check emitted JSON is well-formed).
+pub(crate) fn parse_value(text: &str) -> Result<Value, String> {
+    Parser::new(text).parse()
+}
+
+/// The JSON subset the spec and export formats need. Doubles as the
+/// crate's one JSON *writer*: build a tree, [`Value::render`] it.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Null,
     Bool(bool),
     Number(f64),
@@ -232,7 +277,7 @@ impl Value {
         }
     }
 
-    fn as_object(&self, path: &str) -> Result<&[(String, Value)], String> {
+    pub(crate) fn as_object(&self, path: &str) -> Result<&[(String, Value)], String> {
         match self {
             Value::Object(fields) => Ok(fields),
             other => Err(format!(
@@ -242,7 +287,7 @@ impl Value {
         }
     }
 
-    fn as_array(&self, path: &str) -> Result<&[Value], String> {
+    pub(crate) fn as_array(&self, path: &str) -> Result<&[Value], String> {
         match self {
             Value::Array(items) => Ok(items),
             other => Err(format!(
@@ -252,7 +297,7 @@ impl Value {
         }
     }
 
-    fn as_string(&self, path: &str) -> Result<&str, String> {
+    pub(crate) fn as_string(&self, path: &str) -> Result<&str, String> {
         match self {
             Value::String(s) => Ok(s),
             other => Err(format!(
@@ -262,7 +307,7 @@ impl Value {
         }
     }
 
-    fn as_bool(&self, path: &str) -> Result<bool, String> {
+    pub(crate) fn as_bool(&self, path: &str) -> Result<bool, String> {
         match self {
             Value::Bool(b) => Ok(*b),
             other => Err(format!(
@@ -272,7 +317,7 @@ impl Value {
         }
     }
 
-    fn as_f64(&self, path: &str) -> Result<f64, String> {
+    pub(crate) fn as_f64(&self, path: &str) -> Result<f64, String> {
         match self {
             Value::Number(n) => Ok(*n),
             other => Err(format!(
@@ -282,7 +327,7 @@ impl Value {
         }
     }
 
-    fn as_u64(&self, path: &str) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self, path: &str) -> Result<u64, String> {
         let n = self.as_f64(path)?;
         if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
             return Err(format!("{path} must be a non-negative integer, got {n}"));
@@ -290,9 +335,86 @@ impl Value {
         Ok(n as u64)
     }
 
-    fn as_usize(&self, path: &str) -> Result<usize, String> {
+    pub(crate) fn as_usize(&self, path: &str) -> Result<usize, String> {
         let n = self.as_u64(path)?;
         usize::try_from(n).map_err(|_| format!("{path} is too large"))
+    }
+
+    /// Whether this value renders on one line (no nested structure).
+    fn is_scalar(&self) -> bool {
+        !matches!(self, Value::Array(_) | Value::Object(_))
+    }
+
+    /// Pretty-prints the tree: objects multiline with two-space
+    /// indentation, scalar arrays inline, structured arrays one item
+    /// per line. Output ends with a newline and round-trips through
+    /// the parser (f64 `Display` never emits exponents).
+    pub(crate) fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        let pad = |n: usize| "  ".repeat(n);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Number(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::String(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                } else if items.iter().all(Value::is_scalar) {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.write(out, indent);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        out.push_str(&pad(indent + 1));
+                        item.write(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str(&pad(indent));
+                    out.push(']');
+                }
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad(indent + 1));
+                    let _ = write!(out, "\"{}\": ", escape(key));
+                    value.write(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                out.push_str(&pad(indent));
+                out.push('}');
+            }
+        }
     }
 }
 
@@ -503,6 +625,45 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_fleet_set_and_scale_axes() {
+        let mut spec = ExperimentSpec::default_sweep().with_seeds(&[1, 2, 3]);
+        spec.fleets[2].num_vms = 96; // a size sweep mixed into the set
+        spec.fleets[2].weeks = 3;
+        spec.static_power_scales = vec![0.25, 1.0, 1.5];
+        let text = to_json(&spec);
+        assert_eq!(from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn legacy_single_fleet_spec_still_parses() {
+        // The exact shape PR 1's to_json emitted: "fleet" object, no
+        // fleets/static_power_scales arrays.
+        let text = concat!(
+            "{\n",
+            "  \"name\": \"policy-comparison\",\n",
+            "  \"fleet\": {\"num_vms\": 48, \"seed\": 2024, \"weeks\": 2},\n",
+            "  \"policies\": [\"epact\", \"coat\", \"coat_opt\"],\n",
+            "  \"servers\": [\"ntc\", \"conventional\"],\n",
+            "  \"qos_floors_mhz\": [null],\n",
+            "  \"predictor\": \"oracle\",\n",
+            "  \"max_servers\": 600,\n",
+            "  \"correlation_only\": false\n",
+            "}\n"
+        );
+        let spec = from_json(text).unwrap();
+        assert_eq!(spec, ExperimentSpec::default_sweep());
+        assert_eq!(spec.fleets.len(), 1);
+        assert_eq!(spec.static_power_scales, vec![1.0]);
+    }
+
+    #[test]
+    fn rejects_both_fleet_forms_at_once() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "fleets": [{"num_vms": 4, "seed": 1}]}"#;
+        let err = from_json(text).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+    }
+
+    #[test]
     fn rejects_unknown_fields() {
         let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "frobnicate": 3}"#;
         let err = from_json(text).unwrap_err();
@@ -535,5 +696,34 @@ mod tests {
         let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "qos_floors_mhz": []}"#;
         let spec = from_json(text).unwrap();
         assert_eq!(spec.qos_floors_mhz, vec![None]);
+    }
+
+    #[test]
+    fn empty_scale_list_defaults_to_unit_scale() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "static_power_scales": []}"#;
+        let spec = from_json(text).unwrap();
+        assert_eq!(spec.static_power_scales, vec![1.0]);
+    }
+
+    #[test]
+    fn value_renderer_round_trips_structures() {
+        let v = Value::Object(vec![
+            (
+                "a".into(),
+                Value::Array(vec![Value::Number(1.5), Value::Null]),
+            ),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Object(vec![(
+                    "k".into(),
+                    Value::String("x\"y".into()),
+                )])]),
+            ),
+            ("c".into(), Value::Object(vec![])),
+            ("d".into(), Value::Array(vec![])),
+            ("e".into(), Value::Bool(true)),
+        ]);
+        let text = v.render();
+        assert_eq!(parse_value(&text).unwrap(), v);
     }
 }

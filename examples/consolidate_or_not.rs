@@ -3,10 +3,9 @@
 //!
 //! Run with: `cargo run --release --example consolidate_or_not`
 
-use ntc_dc::datacenter::experiments;
+use ntc_dc::datacenter::{experiments, FleetSpec};
 use ntc_dc::power::{DataCenterPowerModel, ServerPowerModel};
 use ntc_dc::units::Percent;
-use ntc_dc::workload::ClusterTraceGenerator;
 
 fn print_fig1_panel(title: &str, server: ServerPowerModel) {
     let freqs = server.dvfs_levels();
@@ -47,8 +46,12 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(150);
     println!("\ngenerating {num_vms} VMs for the Fig. 7 sweep...");
-    let fleet = ClusterTraceGenerator::google_like(num_vms, 7).generate();
-    let pts = experiments::fig7(&fleet, 600, &[5.0, 15.0, 25.0, 35.0, 45.0]);
+    let fleet = FleetSpec {
+        num_vms,
+        seed: 7,
+        weeks: 2,
+    };
+    let pts = experiments::fig7(fleet, 600, &[5.0, 15.0, 25.0, 35.0, 45.0]);
     println!("\n=== Fig. 7: EPACT saving vs per-server static power ===");
     println!(
         "{:<12} {:>14} {:>14} {:>12}",

@@ -1,7 +1,9 @@
 //! The parallel experiment engine: declare a sweep once as an
-//! [`ExperimentSpec`], fan its cells across all cores, get the paper's
-//! policy table back in spec order — plus the JSON round trip the CLI
-//! `sweep --spec` flag consumes.
+//! [`ExperimentSpec`] — policies × servers × QoS floors × fleet seeds ×
+//! static-power scales — fan its cells across all cores, and get the
+//! paper's policy table back in spec order with seed-averaged mean±std
+//! rows. No loop in this file runs a simulation; the engine owns the
+//! sweep.
 //!
 //! Run with: `cargo run --release --example engine_sweep [num_vms]`
 //! (defaults to 120 VMs).
@@ -14,9 +16,11 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(120);
 
-    let mut spec = ExperimentSpec::default_sweep();
-    spec.fleet.num_vms = num_vms;
-    spec.qos_floors_mhz = vec![None, Some(1800.0)];
+    // Three fleet seeds and two static-power arms, on top of the
+    // default policy x server cross: 3 x 2 x 3 x 2 = 36 cells.
+    let mut spec = ExperimentSpec::default_sweep().with_seeds(&[2024, 2025, 2026]);
+    spec.fleets.iter_mut().for_each(|f| f.num_vms = num_vms);
+    spec.static_power_scales = vec![1.0, 1.0 / 3.0];
 
     println!("spec as the CLI would read it (ntcdc sweep --spec file.json):\n");
     print!("{}", spec_json::to_json(&spec));
@@ -30,19 +34,40 @@ fn main() {
     let sweep = engine.run(&spec).expect("valid spec");
 
     println!(
-        "\n{:<28} {:>10} {:>14} {:>11} {:>14}",
-        "cell", "wall (ms)", "energy (MJ)", "violations", "mean servers"
+        "\n{:<28} {:>6} {:>10} {:>14} {:>11} {:>14}",
+        "cell", "seed", "wall (ms)", "energy (MJ)", "violations", "mean servers"
     );
     for cell in &sweep.cells {
         println!(
-            "{:<28} {:>10.0} {:>14.1} {:>11} {:>14.1}",
+            "{:<28} {:>6} {:>10.0} {:>14.1} {:>11} {:>14.1}",
             cell.cell.label(spec.ablation),
+            cell.cell.fleet.seed,
             cell.wall.as_secs_f64() * 1e3,
             cell.outcome.total_energy().as_megajoules(),
             cell.outcome.total_violations(),
             cell.outcome.mean_active_servers()
         );
     }
+
+    println!(
+        "\nseed-averaged over {} fleets (mean±std):",
+        spec.fleets.len()
+    );
+    println!(
+        "{:<28} {:>5} {:>16} {:>14} {:>16}",
+        "group", "runs", "energy (MJ)", "violations", "mean servers"
+    );
+    for g in sweep.seed_groups() {
+        println!(
+            "{:<28} {:>5} {:>16} {:>14} {:>16}",
+            g.label(spec.ablation),
+            g.runs,
+            g.energy_mj.to_string(),
+            g.violations.to_string(),
+            g.mean_active_servers.to_string()
+        );
+    }
+
     let serial: f64 = sweep.cells.iter().map(|c| c.wall.as_secs_f64()).sum();
     println!(
         "\ntotal wall {:.2}s vs {:.2}s of cell time ({:.2}x)",

@@ -40,12 +40,34 @@
 //! use ntc_dc::datacenter::{Engine, ExperimentSpec};
 //!
 //! let mut spec = ExperimentSpec::default_sweep(); // EPACT/COAT/COAT-OPT x NTC/conv
-//! spec.fleet.num_vms = 16; // keep the doctest fast
+//! spec.fleets[0].num_vms = 16; // keep the doctest fast
 //! spec.max_servers = 200;
 //! let sweep = Engine::new().run(&spec).unwrap();
 //! assert_eq!(sweep.cells.len(), 6);
 //! let epact_ntc = &sweep.cells[0];
 //! assert_eq!(epact_ntc.outcome.policy, "EPACT");
+//! ```
+//!
+//! Fleet seeds and static-power scales (the Fig. 7 knob) are axes of
+//! the same spec: multiple fleets run every configuration once per
+//! seed, and [`SweepResult::seed_groups`](datacenter::SweepResult::seed_groups)
+//! collapses them to mean±std rows:
+//!
+//! ```
+//! use ntc_dc::datacenter::{Engine, ExperimentSpec, PolicySpec, ServerSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep().with_seeds(&[1, 2, 3]);
+//! spec.fleets.iter_mut().for_each(|f| f.num_vms = 10); // doctest-sized
+//! spec.policies = vec![PolicySpec::Epact];
+//! spec.servers = vec![ServerSpec::Ntc];
+//! spec.static_power_scales = vec![1.0, 0.5]; // Fig. 7: halved motherboard power
+//! spec.max_servers = 100;
+//! let sweep = Engine::new().run(&spec).unwrap();
+//! assert_eq!(sweep.cells.len(), 6); // 3 seeds x 2 scales x 1 policy
+//! let groups = sweep.seed_groups(); // averaged over the seed axis
+//! assert_eq!(groups.len(), 2);
+//! assert_eq!(groups[0].runs, 3);
+//! println!("energy: {} MJ", groups[0].energy_mj); // "123.4±5.6"
 //! ```
 //!
 //! Specs serialize to JSON via

@@ -6,13 +6,25 @@ use ntc_dc::datacenter::{Engine, ExperimentSpec, PolicySpec, ServerSpec};
 
 fn small_sweep() -> ExperimentSpec {
     let mut spec = ExperimentSpec::default_sweep();
-    spec.fleet.num_vms = 24;
+    spec.fleets[0].num_vms = 24;
     spec.max_servers = 300;
     assert_eq!(
         spec.cells().len(),
         6,
         "the default sweep must exercise >= 6 cells"
     );
+    spec
+}
+
+/// The acceptance shape: >= 2 fleet seeds and >= 2 static-power scales
+/// in one spec.
+fn multi_axis_sweep() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::default_sweep().with_seeds(&[11, 12]);
+    spec.fleets.iter_mut().for_each(|f| f.num_vms = 12);
+    spec.static_power_scales = vec![0.5, 1.0];
+    spec.servers = vec![ServerSpec::Ntc];
+    spec.policies = vec![PolicySpec::Epact, PolicySpec::Coat];
+    spec.max_servers = 150;
     spec
 }
 
@@ -29,6 +41,26 @@ fn parallel_sweep_is_bit_identical_to_sequential() {
     // And a second parallel run cannot differ either.
     let again = Engine::with_threads(3).run(&spec).expect("second run");
     assert_eq!(parallel.outcomes(), again.outcomes());
+}
+
+#[test]
+fn multi_axis_sweep_is_bit_identical_to_sequential() {
+    // 2 seeds x 2 static-power scales x 2 policies = 8 cells; the
+    // parallel schedule (including the fleet-cache race) must not be
+    // able to change a single bit of any outcome.
+    let spec = multi_axis_sweep();
+    let parallel = Engine::new().run(&spec).expect("parallel run");
+    let sequential = Engine::new().run_sequential(&spec).expect("sequential run");
+    assert_eq!(parallel.cells.len(), 8);
+    assert_eq!(parallel.outcomes(), sequential.outcomes());
+
+    // Seed-averaged aggregation is a pure fold over the cells, so it is
+    // identical too: one group per (policy, scale), each fed by 2 seeds.
+    let groups = parallel.seed_groups();
+    assert_eq!(groups.len(), 4);
+    assert!(groups.iter().all(|g| g.runs == 2));
+    let sequential_groups = sequential.seed_groups();
+    assert_eq!(groups, sequential_groups);
 }
 
 #[test]

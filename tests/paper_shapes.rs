@@ -133,8 +133,12 @@ fn headline_7_week_epact_beats_both_baselines() {
 fn headline_8_fig7_static_power_trend() {
     // Fig. 7: EPACT's edge over consolidation shrinks as static power
     // grows (and grows in future low-static-power technologies).
-    let fleet = ClusterTraceGenerator::google_like(48, 99).generate();
-    let pts = experiments::fig7(&fleet, 600, &[5.0, 25.0, 45.0]);
+    let fleet = ntc_dc::datacenter::FleetSpec {
+        num_vms: 48,
+        seed: 99,
+        weeks: 2,
+    };
+    let pts = experiments::fig7(fleet, 600, &[5.0, 25.0, 45.0]);
     assert!(pts[0].saving_pct > pts[2].saving_pct);
     assert!(
         pts[0].saving_pct > 10.0,

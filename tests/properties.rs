@@ -1,11 +1,55 @@
 //! Cross-crate property-based tests: allocation-policy and power-model
-//! invariants over randomized fleets and loads.
+//! invariants over randomized fleets and loads, plus the spec_json
+//! round trip over randomized experiment specs.
 
+use ntc_dc::datacenter::{
+    spec_json, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
+};
 use ntc_dc::policy::{AllocationPolicy, Coat, CoatOpt, Epact, SlotContext};
 use ntc_dc::power::ServerPowerModel;
 use ntc_dc::trace::TimeSeries;
 use ntc_dc::units::{Frequency, Percent};
 use proptest::prelude::*;
+
+/// A strategy over arbitrary multi-axis experiment specs: random fleet
+/// sets (sizes, seeds, horizons), static-power scales, QoS floors and
+/// axis subsets.
+fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
+    let fleets = prop::collection::vec(
+        (1usize..200, 0u64..10_000, 2usize..5).prop_map(|(num_vms, seed, weeks)| FleetSpec {
+            num_vms,
+            seed,
+            weeks,
+        }),
+        1..4,
+    );
+    let scales = prop::collection::vec(0.0f64..4.0, 1..4);
+    let floors = prop::collection::vec(
+        (0usize..2, 100.0f64..2500.0).prop_map(|(none, mhz)| (none == 0).then_some(mhz)),
+        1..3,
+    );
+    (fleets, scales, floors, 0usize..4, 1usize..1000, 0usize..2).prop_map(
+        |(fleets, static_power_scales, qos_floors_mhz, knobs, max_servers, corr)| {
+            let mut spec = ExperimentSpec::default_sweep();
+            spec.name = format!("prop-{knobs}-{max_servers}");
+            spec.fleets = fleets;
+            spec.static_power_scales = static_power_scales;
+            spec.qos_floors_mhz = qos_floors_mhz;
+            spec.max_servers = max_servers;
+            spec.ablation.correlation_only = corr == 1;
+            if knobs % 2 == 1 {
+                spec.policies.push(PolicySpec::LoadBalance);
+                spec.servers = vec![ServerSpec::Ntc];
+            }
+            spec.predictor = match knobs {
+                0 => PredictorSpec::Oracle,
+                1 => PredictorSpec::Arima,
+                _ => PredictorSpec::SeasonalNaive,
+            };
+            spec
+        },
+    )
+}
 
 fn vm_series(n_vms: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     prop::collection::vec(prop::collection::vec(0.0f64..6.25, len), n_vms)
@@ -98,6 +142,19 @@ proptest! {
         prop_assert!(p.as_watts().is_finite());
         prop_assert!(p.as_watts() > 20.0, "uncore floor keeps power above ~27 W");
         prop_assert!(p.as_watts() < 200.0, "a single server stays under 200 W");
+    }
+
+    #[test]
+    fn spec_json_round_trips_every_spec(spec in arb_spec()) {
+        // The codec must preserve every axis exactly — fleet sets,
+        // static-power scales (f64-exact), QoS floors, predictor,
+        // ablation flags — through render + reparse.
+        let text = spec_json::to_json(&spec);
+        let back = match spec_json::from_json(&text) {
+            Ok(back) => back,
+            Err(e) => panic!("reparse failed: {e}\n{text}"),
+        };
+        prop_assert_eq!(back, spec);
     }
 
     #[test]

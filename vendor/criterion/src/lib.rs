@@ -16,6 +16,14 @@ const DEFAULT_SAMPLE_SIZE: usize = 10;
 /// Wall-clock budget per benchmark; sampling stops early once exceeded.
 const TIME_BUDGET: Duration = Duration::from_secs(5);
 
+/// Whether the harness runs in quick-smoke mode (`cargo bench -- --test`
+/// or `CRITERION_TEST=1`): each benchmark executes exactly once, untimed
+/// — real criterion's `--test` flag. Bench code can branch on this to
+/// shrink its own setup (smaller sweeps, fewer printed rows).
+pub fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test") || std::env::var_os("CRITERION_TEST").is_some()
+}
+
 /// Entry point handed to every bench function by [`criterion_group!`].
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -99,6 +107,13 @@ where
     F: FnMut(&mut Bencher),
 {
     let mut b = Bencher::default();
+    if test_mode() {
+        // Smoke run: execute once so the bench code is exercised, skip
+        // warm-up and timing entirely.
+        f(&mut b);
+        println!("{id:<40} test-mode: ran once, not timed");
+        return;
+    }
     // Warm-up sample, discarded.
     f(&mut b);
     b.samples.clear();
@@ -165,6 +180,13 @@ mod tests {
         });
         // one warm-up + DEFAULT_SAMPLE_SIZE timed samples
         assert_eq!(runs, 1 + DEFAULT_SAMPLE_SIZE as u32);
+    }
+
+    #[test]
+    fn test_mode_is_off_under_the_test_harness() {
+        // `cargo test` passes neither `--test` nor CRITERION_TEST, so
+        // the timing assertions in the other tests hold.
+        assert!(!test_mode());
     }
 
     #[test]
