@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ntc_datacenter::{Engine, ExperimentSpec};
 use std::hint::black_box;
+use std::time::Instant;
 
 fn sweep_spec() -> ExperimentSpec {
     let mut spec = ExperimentSpec::default_sweep();
@@ -44,8 +45,45 @@ fn print_sweep_table() {
     }
 }
 
+/// Min-of-`reps` wall time of one engine sweep, in seconds.
+fn min_wall(engine: &Engine, spec: &ExperimentSpec, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(engine.run(spec).expect("valid spec"));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Writes the machine-readable summary next to the crate manifest so
+/// the perf trajectory accumulates across PRs (the file is gitignored;
+/// compare it against the previous checkout's copy). Smoke mode runs
+/// one rep per scenario so CI keeps exercising the writer.
+fn write_bench_json() {
+    let reps = if criterion::test_mode() { 1 } else { 3 };
+    let spec = sweep_spec();
+    let seeded = seeded_spec();
+    let sequential = min_wall(&Engine::with_threads(1), &spec, reps);
+    let parallel = min_wall(&Engine::new(), &spec, reps);
+    let seeded_wall = min_wall(&Engine::new(), &seeded, reps);
+    let threads = Engine::new().threads();
+    let json = format!(
+        "{{\n  \"bench\": \"engine\",\n  \"reps\": {reps},\n  \"threads\": {threads},\n  \
+         \"sweep_6cells_sequential_s\": {sequential:.6},\n  \
+         \"sweep_6cells_all_cores_s\": {parallel:.6},\n  \
+         \"sweep_18cells_seed_averaged_s\": {seeded_wall:.6}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_engine.json");
+    match std::fs::write(path, json) {
+        Ok(()) => println!("engine: wrote {path}"),
+        Err(e) => eprintln!("engine: could not write {path}: {e}"),
+    }
+}
+
 fn bench(c: &mut Criterion) {
     print_sweep_table();
+    write_bench_json();
 
     let spec = sweep_spec();
     c.bench_function("engine/sweep_6cells_sequential", |b| {

@@ -135,7 +135,7 @@ pub fn week(args: &[String]) -> Result<(), String> {
 
 /// `ntc-dc sweep [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]
 /// [--static-power-scales X,Y] [--threads N] [--arima] [--emit-spec]
-/// [--json]`
+/// [--json] [--no-cache] [--cache-stats]`
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let mut spec = match args.iter().position(|a| a == "--spec") {
         Some(i) => {
@@ -174,7 +174,8 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     let engine = match args.iter().position(|a| a == "--threads") {
         Some(_) => Engine::with_threads(opt_usize(args, "--threads", 1)?),
         None => Engine::new(),
-    };
+    }
+    .caching(!flag(args, "--no-cache"));
     let sweep = engine.run(&spec).map_err(|e| e.to_string())?;
 
     if flag(args, "--json") {
@@ -223,6 +224,13 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
                 g.mean_active_servers.to_string()
             );
         }
+    }
+    if flag(args, "--cache-stats") {
+        let t = sweep.cache_totals();
+        println!(
+            "cache: plans {} hit / {} miss, forecasts {} hit / {} miss",
+            t.plan_hits, t.plan_misses, t.forecast_hits, t.forecast_misses
+        );
     }
     let serial: f64 = sweep.cells.iter().map(|c| c.wall.as_secs_f64()).sum();
     if sweep.wall.as_secs_f64() > 0.0 {

@@ -62,8 +62,11 @@ fn usage() -> &'static str {
      \x20 sweep  [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]\n\
      \x20        [--static-power-scales X,Y] [--max-servers N]\n\
      \x20        [--threads N] [--arima] [--emit-spec] [--json]\n\
+     \x20        [--no-cache] [--cache-stats]\n\
      \x20                            parallel sweep over an ExperimentSpec;\n\
-     \x20                            multiple seeds print mean±std groups\n\
+     \x20                            multiple seeds print mean±std groups;\n\
+     \x20                            --cache-stats prints plan/forecast\n\
+     \x20                            cache hit/miss totals\n\
      \x20 fig7   [--vms N] [--csv]   Fig. 7: static-power sweep\n\
      \x20 validate                   power-model constants vs the paper\n\
      \x20 fleet-stats [--vms N]      generated-workload statistics"

@@ -79,11 +79,34 @@ impl OneDimAllocator {
     ///
     /// Panics if `predicted_cpu` is empty or series lengths differ.
     pub fn allocate(&self, predicted_cpu: &[TimeSeries]) -> Vec<usize> {
+        let mut cache = CorrelationCache::new(predicted_cpu);
+        self.allocate_with_cache(predicted_cpu, &mut cache)
+    }
+
+    /// [`allocate`](Self::allocate) against a caller-provided
+    /// correlation cache — the form `ntc_core::Epact` uses so a
+    /// day-level cache attached to the slot context is reused instead
+    /// of rebuilding Pearson terms per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predicted_cpu` is empty, series lengths differ, or
+    /// `cache` covers a different number of series.
+    pub fn allocate_with_cache(
+        &self,
+        predicted_cpu: &[TimeSeries],
+        cache: &mut CorrelationCache<'_>,
+    ) -> Vec<usize> {
         assert!(!predicted_cpu.is_empty(), "no VMs to allocate");
         let slot_len = predicted_cpu[0].len();
         assert!(
             predicted_cpu.iter().all(|s| s.len() == slot_len),
             "all series must cover the same slot"
+        );
+        assert_eq!(
+            cache.num_series(),
+            predicted_cpu.len(),
+            "cache must cover every VM"
         );
         let cap = self.cap_cpu();
 
@@ -103,7 +126,6 @@ impl OneDimAllocator {
         // the slot; the running accumulator turns each φ query into
         // O(1) instead of an O(len) pass over a materialized
         // complement.
-        let mut cache = CorrelationCache::new(predicted_cpu);
         let mut stats = cache.pattern();
         let mut server_empty = true;
 
@@ -112,7 +134,7 @@ impl OneDimAllocator {
                 // Line 4-6: first unallocated VM goes in unconditionally.
                 let vm = pool.remove(0);
                 pattern.add_in_place(&predicted_cpu[vm]);
-                stats.admit(&mut cache, vm);
+                stats.admit(cache, vm);
                 assignment[vm] = server;
                 server_empty = false;
                 continue;
@@ -124,7 +146,7 @@ impl OneDimAllocator {
                 if pattern.peak_of_sum(&predicted_cpu[vm]) > cap + 1e-9 {
                     continue;
                 }
-                let phi = stats.complement_correlation(&cache, vm);
+                let phi = stats.complement_correlation(cache, vm);
                 if best.is_none_or(|(_, b)| phi > b) {
                     best = Some((pos, phi));
                 }
@@ -133,7 +155,7 @@ impl OneDimAllocator {
                 Some((pos, _)) => {
                     let vm = pool.remove(pos);
                     pattern.add_in_place(&predicted_cpu[vm]);
-                    stats.admit(&mut cache, vm);
+                    stats.admit(cache, vm);
                     assignment[vm] = server;
                 }
                 None => {

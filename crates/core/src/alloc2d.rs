@@ -196,12 +196,37 @@ impl TwoDimAllocator {
     ///
     /// Panics if the inputs are empty or of mismatched lengths.
     pub fn allocate(&self, cpu: &[TimeSeries], mem: &[TimeSeries]) -> Vec<usize> {
+        let mut cache_cpu = CorrelationCache::new(cpu);
+        let mut cache_mem = CorrelationCache::new(mem);
+        self.allocate_with_caches(cpu, mem, &mut cache_cpu, &mut cache_mem)
+    }
+
+    /// [`allocate`](Self::allocate) against caller-provided correlation
+    /// caches — the form `ntc_core::Epact` uses so day-level caches
+    /// attached to the slot context are reused instead of rebuilding
+    /// Pearson terms per slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty or of mismatched lengths, or a
+    /// cache covers a different number of series.
+    pub fn allocate_with_caches(
+        &self,
+        cpu: &[TimeSeries],
+        mem: &[TimeSeries],
+        cache_cpu: &mut CorrelationCache<'_>,
+        cache_mem: &mut CorrelationCache<'_>,
+    ) -> Vec<usize> {
         assert!(!cpu.is_empty(), "no VMs to allocate");
         assert_eq!(cpu.len(), mem.len(), "need CPU and memory per VM");
         let slot_len = cpu[0].len();
         assert!(
             cpu.iter().chain(mem.iter()).all(|s| s.len() == slot_len),
             "all series must cover the same slot"
+        );
+        assert!(
+            cache_cpu.num_series() == cpu.len() && cache_mem.num_series() == mem.len(),
+            "caches must cover every VM"
         );
 
         let mut srv_cpu = vec![TimeSeries::zeros(slot_len); self.num_servers];
@@ -211,8 +236,6 @@ impl TwoDimAllocator {
         // Memoized Pearson terms shared by every candidate scan of the
         // slot, one accumulator per server and dimension: the φ queries
         // of Eq. 2 drop from O(len) each to O(1).
-        let mut cache_cpu = CorrelationCache::new(cpu);
-        let mut cache_mem = CorrelationCache::new(mem);
         let mut stats_cpu: Vec<_> = (0..self.num_servers).map(|_| cache_cpu.pattern()).collect();
         let mut stats_mem: Vec<_> = (0..self.num_servers).map(|_| cache_mem.pattern()).collect();
 
@@ -237,8 +260,8 @@ impl TwoDimAllocator {
                 }
                 // Eq. 2 from cached terms: φ via the running pattern
                 // accumulators, Dist against the headroom in place.
-                let phi_cpu = stats_cpu[j].complement_correlation(&cache_cpu, vm);
-                let phi_mem = stats_mem[j].complement_correlation(&cache_mem, vm);
+                let phi_cpu = stats_cpu[j].complement_correlation(cache_cpu, vm);
+                let phi_mem = stats_mem[j].complement_correlation(cache_mem, vm);
                 let m = if self.use_distance {
                     let dist_cpu = srv_cpu[j].headroom_distance(self.cap_cpu, &cpu[vm]) + EPS;
                     let dist_mem = srv_mem[j].headroom_distance(self.cap_mem, &mem[vm]) + EPS;
@@ -263,8 +286,8 @@ impl TwoDimAllocator {
             };
             srv_cpu[j].add_in_place(&cpu[vm]);
             srv_mem[j].add_in_place(&mem[vm]);
-            stats_cpu[j].admit(&mut cache_cpu, vm);
-            stats_mem[j].admit(&mut cache_mem, vm);
+            stats_cpu[j].admit(cache_cpu, vm);
+            stats_mem[j].admit(cache_mem, vm);
             assignment[vm] = j;
         }
         assignment

@@ -10,7 +10,16 @@ use crate::{AllocationPolicy, SlotContext, SlotPlan};
 /// preferring the feasible server whose complementary pattern best
 /// matches the VM (the CPU-load-correlation awareness of Kim et al.,
 /// DATE'13) and checking both the CPU and memory caps per sample.
-fn consolidate(cpu: &[TimeSeries], mem: &[TimeSeries], cap_cpu: f64, cap_mem: f64) -> Vec<usize> {
+///
+/// `cache` holds the memoized Pearson terms over `cpu` — built from the
+/// slot context so a day-level cache is reused when one is attached.
+fn consolidate(
+    cpu: &[TimeSeries],
+    mem: &[TimeSeries],
+    cap_cpu: f64,
+    cap_mem: f64,
+    mut cache: CorrelationCache<'_>,
+) -> Vec<usize> {
     let slot_len = cpu[0].len();
     let mut order: Vec<usize> = (0..cpu.len()).collect();
     order.sort_by(|&a, &b| {
@@ -22,9 +31,6 @@ fn consolidate(cpu: &[TimeSeries], mem: &[TimeSeries], cap_cpu: f64, cap_mem: f6
 
     let mut srv_cpu: Vec<TimeSeries> = Vec::new();
     let mut srv_mem: Vec<TimeSeries> = Vec::new();
-    // Memoized Pearson terms (see ntc_trace::CorrelationCache): each φ
-    // query below is O(1) against the per-server running accumulator.
-    let mut cache = CorrelationCache::new(cpu);
     let mut stats: Vec<PatternStats> = Vec::new();
     let mut assignment = vec![usize::MAX; cpu.len()];
     for vm in order {
@@ -32,9 +38,10 @@ fn consolidate(cpu: &[TimeSeries], mem: &[TimeSeries], cap_cpu: f64, cap_mem: f6
         // complementary (least correlated) load.
         let mut best: Option<(usize, f64)> = None;
         for j in 0..srv_cpu.len() {
-            let cpu_ok = !srv_cpu[j].sum_exceeds(&cpu[vm], cap_cpu, 1e-9);
-            let mem_ok = !srv_mem[j].sum_exceeds(&mem[vm], cap_mem, 1e-9);
-            if !cpu_ok || !mem_ok {
+            // Short-circuit: a CPU-infeasible server skips the memory scan.
+            if srv_cpu[j].sum_exceeds(&cpu[vm], cap_cpu, 1e-9)
+                || srv_mem[j].sum_exceeds(&mem[vm], cap_mem, 1e-9)
+            {
                 continue;
             }
             let phi = stats[j].complement_correlation(&cache, vm);
@@ -92,7 +99,13 @@ impl AllocationPolicy for Coat {
 
     fn allocate(&self, ctx: &SlotContext<'_>) -> SlotPlan {
         let fmax = ctx.server().fmax();
-        let assignments = consolidate(ctx.predicted_cpu(), ctx.predicted_mem(), 100.0, 100.0);
+        let assignments = consolidate(
+            ctx.predicted_cpu(),
+            ctx.predicted_mem(),
+            100.0,
+            100.0,
+            ctx.corr_cpu(),
+        );
         let n = assignments.iter().max().map_or(1, |&m| m + 1);
         SlotPlan::new(
             assignments,
@@ -143,7 +156,13 @@ impl AllocationPolicy for CoatOpt {
         let fmax = ctx.server().fmax();
         let fopt = Self::fixed_frequency(ctx);
         let cap_cpu = fopt.ratio(fmax) * 100.0;
-        let assignments = consolidate(ctx.predicted_cpu(), ctx.predicted_mem(), cap_cpu, 100.0);
+        let assignments = consolidate(
+            ctx.predicted_cpu(),
+            ctx.predicted_mem(),
+            cap_cpu,
+            100.0,
+            ctx.corr_cpu(),
+        );
         let n = assignments.iter().max().map_or(1, |&m| m + 1);
         SlotPlan::new(
             assignments,

@@ -80,7 +80,10 @@ impl AllocationPolicy for Epact {
 
         let (assignments, realized_servers) = if decision.cpu_dominated {
             let alloc = OneDimAllocator::new(decision.fopt, fmax);
-            let a = alloc.allocate(ctx.predicted_cpu());
+            // ctx.corr_cpu() reuses a day-level cache when one is
+            // attached (see SlotContext::with_day_window).
+            let mut cache = ctx.corr_cpu();
+            let a = alloc.allocate_with_cache(ctx.predicted_cpu(), &mut cache);
             let n = a.iter().max().map_or(1, |&m| m + 1);
             (a, n)
         } else {
@@ -89,7 +92,14 @@ impl AllocationPolicy for Epact {
                 builder = builder.correlation_only();
             }
             let alloc = builder.build_or_panic();
-            let a = alloc.allocate(ctx.predicted_cpu(), ctx.predicted_mem());
+            let mut cache_cpu = ctx.corr_cpu();
+            let mut cache_mem = ctx.corr_mem();
+            let a = alloc.allocate_with_caches(
+                ctx.predicted_cpu(),
+                ctx.predicted_mem(),
+                &mut cache_cpu,
+                &mut cache_mem,
+            );
             let n = a.iter().max().map_or(1, |&m| m + 1);
             (a, n)
         };

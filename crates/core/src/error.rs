@@ -150,6 +150,19 @@ impl std::fmt::Display for Error {
 
 impl std::error::Error for Error {}
 
+/// Failures of the trace-level cache constructors
+/// (`ntc_trace::CorrelationCache::try_new`, `ntc_trace::DayCache::try_new`)
+/// map onto the shared policy-layer error so `?` composes across the
+/// crates.
+impl From<ntc_trace::Error> for Error {
+    fn from(e: ntc_trace::Error) -> Self {
+        match e {
+            ntc_trace::Error::EmptySeriesSet => Error::NoVms,
+            ntc_trace::Error::RaggedSeries => Error::RaggedSeries,
+        }
+    }
+}
+
 /// Convenience alias for results carrying [`Error`].
 pub type Result<T> = std::result::Result<T, Error>;
 

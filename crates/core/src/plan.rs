@@ -1,9 +1,20 @@
 use ntc_power::ServerPowerModel;
-use ntc_trace::TimeSeries;
+use ntc_trace::{CorrelationCache, DayCache, TimeSeries};
 use ntc_units::Frequency;
 use serde::{Deserialize, Serialize};
 
 use crate::Error;
+
+/// Day-level prefix-sum caches backing a slot's correlation queries:
+/// the CPU and memory [`DayCache`]s plus the offset of the slot window
+/// within the day. Attached to a [`SlotContext`] via
+/// [`with_day_window`](SlotContext::with_day_window).
+#[derive(Debug, Clone, Copy)]
+struct DayWindow<'a> {
+    cpu: &'a DayCache,
+    mem: &'a DayCache,
+    offset: usize,
+}
 
 /// Everything a policy sees when allocating one time slot: the predicted
 /// per-VM utilization patterns for the slot and the server model.
@@ -16,6 +27,7 @@ pub struct SlotContext<'a> {
     predicted_mem: &'a [TimeSeries],
     server: &'a ServerPowerModel,
     max_servers: usize,
+    day: Option<DayWindow<'a>>,
 }
 
 impl<'a> SlotContext<'a> {
@@ -57,6 +69,7 @@ impl<'a> SlotContext<'a> {
             predicted_mem,
             server,
             max_servers,
+            day: None,
         })
     }
 
@@ -80,6 +93,62 @@ impl<'a> SlotContext<'a> {
         match Self::try_new(predicted_cpu, predicted_mem, server, max_servers) {
             Ok(ctx) => ctx,
             Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Attaches day-level prefix-sum caches whose window at `offset`
+    /// holds this slot's predicted values, letting
+    /// [`corr_cpu`](Self::corr_cpu)/[`corr_mem`](Self::corr_mem) answer
+    /// correlation queries from the day's memoized prefix sums instead
+    /// of rebuilding per-slot state. The caller guarantees the day
+    /// values at `offset..offset + slot_len` are the slot's predicted
+    /// values; moments are bit-identical either way (see
+    /// [`CorrelationCache::from_day_window`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either cache covers a different number of series than
+    /// the context has VMs, or the slot window reaches outside the day.
+    pub fn with_day_window(mut self, cpu: &'a DayCache, mem: &'a DayCache, offset: usize) -> Self {
+        assert_eq!(
+            cpu.num_series(),
+            self.num_vms(),
+            "day cache must cover every VM"
+        );
+        assert_eq!(
+            mem.num_series(),
+            self.num_vms(),
+            "day cache must cover every VM"
+        );
+        let end = offset + self.slot_len();
+        assert!(
+            end <= cpu.len() && end <= mem.len(),
+            "slot window {offset}..{end} outside the day caches"
+        );
+        self.day = Some(DayWindow { cpu, mem, offset });
+        self
+    }
+
+    /// A correlation cache over the slot's predicted CPU series —
+    /// borrowing the attached day cache's window when one is present,
+    /// otherwise building a fresh per-slot cache.
+    pub fn corr_cpu(&self) -> CorrelationCache<'_> {
+        match &self.day {
+            Some(d) => {
+                CorrelationCache::from_day_window(d.cpu, d.offset..d.offset + self.slot_len())
+            }
+            None => CorrelationCache::new(self.predicted_cpu),
+        }
+    }
+
+    /// A correlation cache over the slot's predicted memory series; see
+    /// [`corr_cpu`](Self::corr_cpu).
+    pub fn corr_mem(&self) -> CorrelationCache<'_> {
+        match &self.day {
+            Some(d) => {
+                CorrelationCache::from_day_window(d.mem, d.offset..d.offset + self.slot_len())
+            }
+            None => CorrelationCache::new(self.predicted_mem),
         }
     }
 
@@ -356,6 +425,40 @@ mod tests {
         assert_eq!(ctx.num_vms(), 10);
         assert!((ctx.peak_aggregate_cpu() - 50.0).abs() < 1e-9);
         assert!((ctx.peak_aggregate_mem() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_window_backs_correlation_queries() {
+        let server = ServerPowerModel::ntc();
+        let day_series: Vec<TimeSeries> = (0..3)
+            .map(|i| {
+                TimeSeries::from_values((0..8).map(|t| ((i * 3 + t * 5) % 7) as f64).collect())
+            })
+            .collect();
+        let day = ntc_trace::DayCache::new(&day_series);
+        let slot_cpu: Vec<TimeSeries> = day_series.iter().map(|s| s.window(4..8)).collect();
+        let slot_mem = slot_cpu.clone();
+        let ctx =
+            SlotContext::new(&slot_cpu, &slot_mem, &server, 100).with_day_window(&day, &day, 4);
+        let mut windowed = ctx.corr_cpu();
+        let mut fresh = ntc_trace::CorrelationCache::new(&slot_cpu);
+        for i in 0..3 {
+            assert_eq!(windowed.variance(i), fresh.variance(i));
+            for j in 0..3 {
+                assert!((windowed.covariance(i, j) - fresh.covariance(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the day caches")]
+    fn day_window_must_cover_the_slot() {
+        let server = ServerPowerModel::ntc();
+        let day_series = vec![TimeSeries::zeros(8)];
+        let day = ntc_trace::DayCache::new(&day_series);
+        let cpu = vec![TimeSeries::zeros(4)];
+        let mem = vec![TimeSeries::zeros(4)];
+        let _ = SlotContext::new(&cpu, &mem, &server, 100).with_day_window(&day, &day, 6);
     }
 
     #[test]

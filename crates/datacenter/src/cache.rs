@@ -1,0 +1,352 @@
+//! Cross-cell memoization for the sweep engine: plan dedup over the
+//! static-power axis and day-forecast sharing across policies.
+//!
+//! Cells of one sweep differ along five axes, but two of them often do
+//! not change what a policy *plans*:
+//!
+//! * the QoS floor only shapes the online replay, never the plan;
+//! * a static-power scale changes the plan only through the quantities
+//!   the policy actually derives from the power model (`F_NTC_opt`, the
+//!   DVFS table, full-load powers). When those coincide across scales —
+//!   always for COAT, which plans purely at `Fmax` — the packing work
+//!   is identical and can be shared.
+//!
+//! [`PlanCache`] therefore keys plan groups on the *planning inputs*: a
+//! bit-pattern fingerprint of exactly the model-derived numbers each
+//! policy reads while allocating, alongside the fleet, policy, ablation
+//! and server budget. Cells with equal fingerprints share one
+//! `OnceLock<Arc<SlotPlan>>` per evaluation slot (the same pattern as
+//! the engine's fleet cache): the first worker to reach a slot plans
+//! it, everyone else reuses the `Arc`. Initialization is a pure
+//! function of the spec, so the race winner cannot change any result.
+//!
+//! [`ForecastCache`] does the same one level up for predictor sweeps:
+//! the day-ahead forecast depends only on the fleet and the (spec-wide)
+//! predictor, so all policy/server/scale/floor arms over one fleet
+//! share its seven `DayForecast`s.
+//!
+//! [`CacheStats`] counts hits and misses; `ntcdc sweep --cache-stats`
+//! prints the totals.
+
+use std::sync::{Arc, OnceLock};
+
+use ntc_core::SlotPlan;
+use ntc_power::{DataCenterPowerModel, ServerPowerModel};
+use ntc_trace::TimeSeries;
+use ntc_units::Percent;
+
+use crate::engine::{CellSpec, ExperimentSpec, FleetSpec, PolicySpec};
+
+/// Hourly slots in the evaluation week — the size of every plan group.
+pub(crate) const EVAL_SLOTS: usize = 7 * 24;
+
+/// Days in the evaluation week — the size of every forecast entry.
+pub(crate) const EVAL_DAYS: usize = 7;
+
+/// Cache hit/miss counters of one cell run (or, summed, of a sweep).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CacheStats {
+    /// Allocation slots answered from the shared plan cache.
+    pub plan_hits: usize,
+    /// Allocation slots that had to be planned (and were then shared).
+    pub plan_misses: usize,
+    /// Day-ahead forecasts answered from the shared forecast cache.
+    pub forecast_hits: usize,
+    /// Day-ahead forecasts that had to be computed.
+    pub forecast_misses: usize,
+}
+
+impl CacheStats {
+    /// Accumulates another run's counters into this one.
+    pub fn merge(&mut self, other: CacheStats) {
+        self.plan_hits += other.plan_hits;
+        self.plan_misses += other.plan_misses;
+        self.forecast_hits += other.forecast_hits;
+        self.forecast_misses += other.forecast_misses;
+    }
+}
+
+/// One day-ahead forecast for a fleet: per-VM CPU and memory series of
+/// one day.
+#[derive(Debug)]
+pub(crate) struct DayForecast {
+    /// Per-VM forecast CPU series (one day long).
+    pub cpu: Vec<TimeSeries>,
+    /// Per-VM forecast memory series (one day long).
+    pub mem: Vec<TimeSeries>,
+}
+
+/// The identity of a plan group: everything that can change what a
+/// policy plans. Cells differing only in QoS floor — or in a
+/// static-power scale whose derived planning inputs coincide — map to
+/// the same key and share plans.
+#[derive(Debug, PartialEq)]
+struct PlanKey {
+    fleet: FleetSpec,
+    policy: PolicySpec,
+    correlation_only: bool,
+    max_servers: usize,
+    /// Bit patterns of the model-derived numbers the policy reads while
+    /// planning; see [`planning_inputs`].
+    inputs: Vec<u64>,
+}
+
+/// The model-derived quantities `policy` reads during `allocate`, as
+/// f64 bit patterns. Two server models with equal fingerprints produce
+/// bit-identical plans for the policy, whatever else (e.g. static
+/// power) differs between them.
+fn planning_inputs(policy: PolicySpec, model: &ServerPowerModel, max_servers: usize) -> Vec<u64> {
+    let mut v = vec![
+        model.fmax().as_mhz().to_bits(),
+        model.fmin().as_mhz().to_bits(),
+    ];
+    match policy {
+        // COAT consolidates at Fmax only.
+        PolicySpec::Coat => {}
+        // COAT-OPT's cap is F_NTC_opt, which reads the full power model.
+        PolicySpec::CoatOpt => {
+            let dc = DataCenterPowerModel::new(model.clone(), max_servers);
+            v.push(dc.ntc_optimal_frequency().as_mhz().to_bits());
+        }
+        // EPACT reads F_NTC_opt and, in the Eq. 1 exploration, the
+        // worst-case power at every DVFS level.
+        PolicySpec::Epact => {
+            let dc = DataCenterPowerModel::new(model.clone(), max_servers);
+            v.push(dc.ntc_optimal_frequency().as_mhz().to_bits());
+            for f in model.dvfs_levels() {
+                v.push(f.as_mhz().to_bits());
+                v.push(
+                    model
+                        .power(f, Percent::FULL, Percent::ZERO)
+                        .as_watts()
+                        .to_bits(),
+                );
+            }
+        }
+        // Load balancing spreads against the DVFS table.
+        PolicySpec::LoadBalance => {
+            for f in model.dvfs_levels() {
+                v.push(f.as_mhz().to_bits());
+            }
+        }
+    }
+    v
+}
+
+/// One shared set of per-slot plan locks; see the [module docs](self).
+#[derive(Debug)]
+pub(crate) struct PlanGroup {
+    slots: Vec<OnceLock<Arc<SlotPlan>>>,
+}
+
+impl PlanGroup {
+    fn new() -> Self {
+        Self {
+            slots: (0..EVAL_SLOTS).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The lock for `slot`, or `None` when the run's horizon exceeds
+    /// the group's (defensive — evaluation is always one week).
+    pub fn slot(&self, slot: usize) -> Option<&OnceLock<Arc<SlotPlan>>> {
+        self.slots.get(slot)
+    }
+}
+
+/// Plan groups for every cell of one sweep, deduplicated by
+/// [`PlanKey`]; cells sharing a key share a [`PlanGroup`].
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    groups: Vec<PlanGroup>,
+    /// Spec-order cell index → group index.
+    by_cell: Vec<usize>,
+}
+
+impl PlanCache {
+    /// Computes the key of every cell and deduplicates the groups.
+    pub fn new(spec: &ExperimentSpec, cells: &[CellSpec]) -> Self {
+        let mut keys: Vec<PlanKey> = Vec::new();
+        let mut groups: Vec<PlanGroup> = Vec::new();
+        let mut by_cell = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let key = PlanKey {
+                fleet: cell.fleet,
+                policy: cell.policy,
+                correlation_only: spec.ablation.correlation_only,
+                max_servers: spec.max_servers,
+                inputs: planning_inputs(cell.policy, &cell.server_model(), spec.max_servers),
+            };
+            let idx = match keys.iter().position(|k| *k == key) {
+                Some(i) => i,
+                None => {
+                    keys.push(key);
+                    groups.push(PlanGroup::new());
+                    groups.len() - 1
+                }
+            };
+            by_cell.push(idx);
+        }
+        Self { groups, by_cell }
+    }
+
+    /// The plan group of the cell at spec-order index `cell_index`.
+    pub fn group(&self, cell_index: usize) -> &PlanGroup {
+        &self.groups[self.by_cell[cell_index]]
+    }
+
+    /// Number of distinct plan groups (for diagnostics/tests).
+    #[cfg(test)]
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+}
+
+/// Per-fleet day-forecast locks shared by every cell over that fleet;
+/// only built for non-oracle sweeps (the predictor is spec-wide).
+#[derive(Debug)]
+pub(crate) struct ForecastCache {
+    entries: Vec<(FleetSpec, Vec<OnceLock<Arc<DayForecast>>>)>,
+}
+
+impl ForecastCache {
+    /// Builds an empty cache over the distinct fleet specs.
+    pub fn new(fleets: &[FleetSpec]) -> Self {
+        let mut entries: Vec<(FleetSpec, Vec<OnceLock<Arc<DayForecast>>>)> = Vec::new();
+        for &fleet in fleets {
+            if !entries.iter().any(|(f, _)| *f == fleet) {
+                entries.push((fleet, (0..EVAL_DAYS).map(|_| OnceLock::new()).collect()));
+            }
+        }
+        Self { entries }
+    }
+
+    /// The seven day-forecast locks of `fleet`.
+    pub fn days(&self, fleet: &FleetSpec) -> &[OnceLock<Arc<DayForecast>>] {
+        let (_, days) = self
+            .entries
+            .iter()
+            .find(|(f, _)| f == fleet)
+            .expect("every cell's fleet comes from the spec's fleet set");
+        days
+    }
+}
+
+/// The cache handles one `WeekSim` run receives from the engine; both
+/// levels are optional so the public (uncached) API and the cached
+/// engine path share one code path.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct RunCaches<'c> {
+    /// Shared per-slot plans, when the engine deduplicated this cell
+    /// into a plan group.
+    pub plans: Option<&'c PlanGroup>,
+    /// Shared day-forecast locks of this cell's fleet.
+    pub forecasts: Option<&'c [OnceLock<Arc<DayForecast>>]>,
+}
+
+impl RunCaches<'_> {
+    /// No caching — the plain public run path.
+    pub fn none() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServerSpec;
+
+    fn spec_with_scales(scales: Vec<f64>) -> ExperimentSpec {
+        let mut spec = ExperimentSpec::default_sweep();
+        spec.servers = vec![ServerSpec::Ntc];
+        spec.static_power_scales = scales;
+        spec
+    }
+
+    #[test]
+    fn coat_plans_dedup_across_static_power_scales() {
+        // COAT plans at Fmax only: every scale arm shares one group.
+        let mut spec = spec_with_scales(vec![0.5, 1.0, 2.0]);
+        spec.policies = vec![PolicySpec::Coat];
+        let cells = spec.cells();
+        let cache = PlanCache::new(&spec, &cells);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cache.num_groups(), 1);
+        assert!(std::ptr::eq(cache.group(0), cache.group(2)));
+    }
+
+    #[test]
+    fn qos_floor_arms_always_share_plans() {
+        // The floor shapes replay, not planning: one group per policy.
+        let mut spec = spec_with_scales(vec![1.0]);
+        spec.qos_floors_mhz = vec![None, Some(1200.0), Some(1800.0)];
+        let cells = spec.cells();
+        let cache = PlanCache::new(&spec, &cells);
+        assert_eq!(cells.len(), 9);
+        assert_eq!(cache.num_groups(), 3);
+    }
+
+    #[test]
+    fn epact_plans_split_when_f_ntc_opt_moves() {
+        // A large static-power change shifts F_NTC_opt, so EPACT's
+        // planning inputs differ and the groups must not merge.
+        let mut spec = spec_with_scales(vec![0.0, 8.0]);
+        spec.policies = vec![PolicySpec::Epact];
+        let cells = spec.cells();
+        let inputs: Vec<_> = cells
+            .iter()
+            .map(|c| planning_inputs(c.policy, &c.server_model(), spec.max_servers))
+            .collect();
+        assert_ne!(inputs[0], inputs[1], "fingerprints must differ");
+        let cache = PlanCache::new(&spec, &cells);
+        assert_eq!(cache.num_groups(), 2);
+    }
+
+    #[test]
+    fn distinct_fleets_never_share_plans() {
+        let mut spec = spec_with_scales(vec![1.0]).with_seeds(&[1, 2]);
+        spec.policies = vec![PolicySpec::Coat];
+        let cells = spec.cells();
+        let cache = PlanCache::new(&spec, &cells);
+        assert_eq!(cache.num_groups(), 2);
+    }
+
+    #[test]
+    fn forecast_cache_dedups_fleets() {
+        let fleets = vec![
+            FleetSpec {
+                num_vms: 8,
+                seed: 1,
+                weeks: 2,
+            };
+            3
+        ];
+        let cache = ForecastCache::new(&fleets);
+        assert_eq!(cache.days(&fleets[0]).len(), EVAL_DAYS);
+        assert_eq!(cache.entries.len(), 1);
+    }
+
+    #[test]
+    fn stats_merge_adds_fields() {
+        let mut a = CacheStats {
+            plan_hits: 1,
+            plan_misses: 2,
+            forecast_hits: 3,
+            forecast_misses: 4,
+        };
+        a.merge(CacheStats {
+            plan_hits: 10,
+            plan_misses: 20,
+            forecast_hits: 30,
+            forecast_misses: 40,
+        });
+        assert_eq!(
+            a,
+            CacheStats {
+                plan_hits: 11,
+                plan_misses: 22,
+                forecast_hits: 33,
+                forecast_misses: 44,
+            }
+        );
+    }
+}

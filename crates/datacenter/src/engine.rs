@@ -53,6 +53,7 @@ use ntc_units::Frequency;
 use ntc_workload::{ClusterTraceGenerator, Fleet};
 use serde::{Deserialize, Serialize};
 
+use crate::cache::{CacheStats, ForecastCache, PlanCache, RunCaches};
 use crate::{MeanStd, WeekOutcome, WeekSim};
 
 /// One synthetic fleet of a sweep's fleet set (see
@@ -353,6 +354,9 @@ pub struct CellOutcome {
     pub cell: CellSpec,
     /// The evaluated week.
     pub outcome: WeekOutcome,
+    /// Plan/forecast cache hits and misses of this cell's run (all
+    /// zeros when the engine runs with caching disabled).
+    pub cache: CacheStats,
     /// Wall-clock time this cell took on its worker (the first cell
     /// touching a fleet pays its generation here).
     pub wall: Duration,
@@ -374,6 +378,16 @@ impl SweepResult {
     /// checks compare (per-cell wall-clock is scheduling noise).
     pub fn outcomes(&self) -> Vec<&WeekOutcome> {
         self.cells.iter().map(|c| &c.outcome).collect()
+    }
+
+    /// Plan/forecast cache hits and misses summed over every cell —
+    /// what `ntcdc sweep --cache-stats` prints.
+    pub fn cache_totals(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for cell in &self.cells {
+            total.merge(cell.cache);
+        }
+        total
     }
 
     /// Aggregates the cells over the fleet axis: every (policy, server,
@@ -507,6 +521,7 @@ impl FleetCache {
 #[derive(Debug, Clone)]
 pub struct Engine {
     threads: usize,
+    caching: bool,
 }
 
 impl Default for Engine {
@@ -522,7 +537,10 @@ impl Engine {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        Self { threads }
+        Self {
+            threads,
+            caching: true,
+        }
     }
 
     /// An engine with an explicit worker count, clamped to at least 1 —
@@ -531,7 +549,24 @@ impl Engine {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            caching: true,
         }
+    }
+
+    /// Enables or disables cross-cell caching (default: on).
+    ///
+    /// When on, cells whose planning inputs coincide — e.g. QoS-floor
+    /// arms, or static-power-scale arms of a policy that plans at
+    /// `Fmax` — share one plan per slot, and all cells over a fleet
+    /// share its day-ahead forecasts. Every shared value is a pure
+    /// function of the spec, so results are bit-identical either way;
+    /// `caching(false)` exists for benchmarking and as an escape
+    /// hatch. (The per-run day-moment cache inside [`WeekSim`] is a
+    /// separate knob and stays on here regardless, keeping the two
+    /// engine modes on one numerical path.)
+    pub fn caching(mut self, enabled: bool) -> Self {
+        self.caching = enabled;
+        self
     }
 
     /// The worker-pool size.
@@ -572,7 +607,12 @@ impl Engine {
             return Err(Error::EmptySpec);
         }
         spec.validate()?;
-        let cache = FleetCache::new(&spec.fleets);
+        let caches = SweepCaches {
+            fleet: FleetCache::new(&spec.fleets),
+            plans: self.caching.then(|| PlanCache::new(spec, &cells)),
+            forecasts: (self.caching && spec.predictor != PredictorSpec::Oracle)
+                .then(|| ForecastCache::new(&spec.fleets)),
+        };
 
         let workers = threads.min(cells.len()).max(1);
         let next = AtomicUsize::new(0);
@@ -580,11 +620,11 @@ impl Engine {
             cells.iter().map(|_| Mutex::new(None)).collect();
 
         if workers == 1 {
-            drain_cells(&next, &cells, &slots, spec, &cache);
+            drain_cells(&next, &cells, &slots, spec, &caches);
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &cache));
+                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &caches));
                 }
             });
         }
@@ -605,6 +645,16 @@ impl Engine {
     }
 }
 
+/// Every shared structure one sweep's workers draw on: the lazily
+/// generated fleets and, when caching is enabled, the deduplicated plan
+/// groups and per-fleet day forecasts.
+#[derive(Debug)]
+struct SweepCaches {
+    fleet: FleetCache,
+    plans: Option<PlanCache>,
+    forecasts: Option<ForecastCache>,
+}
+
 /// Worker body: claim cell indices off the shared counter until none
 /// remain, writing each outcome into its spec-order slot.
 fn drain_cells(
@@ -612,23 +662,30 @@ fn drain_cells(
     cells: &[CellSpec],
     slots: &[Mutex<Option<CellOutcome>>],
     spec: &ExperimentSpec,
-    cache: &FleetCache,
+    caches: &SweepCaches,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(cell) = cells.get(i) else { break };
-        let outcome = run_cell(spec, cache, cell);
+        let outcome = run_cell(spec, caches, i, cell);
         *slots[i].lock().expect("no panics while holding the slot") = Some(outcome);
     }
 }
 
 /// Evaluates one cell: resolve the fleet through the cache, build the
 /// simulator with the scaled server model, instantiate the policy and
-/// predictor, run the week. Pure in (spec, cell) — the determinism
-/// guarantee rests here.
-fn run_cell(spec: &ExperimentSpec, cache: &FleetCache, cell: &CellSpec) -> CellOutcome {
+/// predictor, run the week with this cell's plan group and forecast
+/// locks attached. Pure in (spec, cell) — every cache initializer is a
+/// deterministic function of the spec, so the determinism guarantee
+/// still rests here whichever worker wins a lock race.
+fn run_cell(
+    spec: &ExperimentSpec,
+    caches: &SweepCaches,
+    index: usize,
+    cell: &CellSpec,
+) -> CellOutcome {
     let started = Instant::now();
-    let fleet = cache.get(&cell.fleet);
+    let fleet = caches.fleet.get(&cell.fleet);
     let mut builder = WeekSim::builder(&fleet, cell.server_model(), spec.max_servers);
     if let Some(mhz) = cell.qos_floor_mhz {
         builder = builder.qos_floor(Frequency::from_mhz(mhz));
@@ -638,14 +695,27 @@ fn run_cell(spec: &ExperimentSpec, cache: &FleetCache, cell: &CellSpec) -> CellO
         .expect("fleets and budget validated before fan-out");
     let policy = cell.policy.build(spec.ablation);
     let per_day = fleet.grid().samples_per_day();
-    let outcome = match spec.predictor {
-        PredictorSpec::Oracle => sim.run_with_oracle(policy.as_ref()),
-        PredictorSpec::Arima => sim.run(policy.as_ref(), &ArimaPredictor::daily(per_day)),
-        PredictorSpec::SeasonalNaive => sim.run(policy.as_ref(), &SeasonalNaive::new(per_day)),
+    let run_caches = RunCaches {
+        plans: caches.plans.as_ref().map(|p| p.group(index)),
+        forecasts: caches.forecasts.as_ref().map(|f| f.days(&cell.fleet)),
+    };
+    let (outcome, cache) = match spec.predictor {
+        PredictorSpec::Oracle => sim.run_counted(policy.as_ref(), None, &run_caches),
+        PredictorSpec::Arima => sim.run_counted(
+            policy.as_ref(),
+            Some(&ArimaPredictor::daily(per_day)),
+            &run_caches,
+        ),
+        PredictorSpec::SeasonalNaive => sim.run_counted(
+            policy.as_ref(),
+            Some(&SeasonalNaive::new(per_day)),
+            &run_caches,
+        ),
     };
     CellOutcome {
         cell: *cell,
         outcome,
+        cache,
         wall: started.elapsed(),
     }
 }

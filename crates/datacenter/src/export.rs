@@ -233,8 +233,25 @@ pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
             ])
         })
         .collect();
+    let totals = sweep.cache_totals();
     Value::Object(vec![
         ("threads".into(), Value::Number(sweep.threads as f64)),
+        (
+            "plan_cache_hits".into(),
+            Value::Number(totals.plan_hits as f64),
+        ),
+        (
+            "plan_cache_misses".into(),
+            Value::Number(totals.plan_misses as f64),
+        ),
+        (
+            "forecast_cache_hits".into(),
+            Value::Number(totals.forecast_hits as f64),
+        ),
+        (
+            "forecast_cache_misses".into(),
+            Value::Number(totals.forecast_misses as f64),
+        ),
         ("cells".into(), Value::Array(cells)),
         ("groups".into(), Value::Array(groups)),
     ])
@@ -319,6 +336,11 @@ mod tests {
         let field = |name: &str| &obj.iter().find(|(k, _)| k == name).unwrap().1;
         let cells = field("cells").as_array("cells").unwrap();
         assert_eq!(cells.len(), 2);
+        // Single-policy, single-arm sweep: nothing dedups, so the plan
+        // cache reports only misses — but the counters must be present.
+        let misses = field("plan_cache_misses").as_f64("misses").unwrap();
+        assert!(misses > 0.0, "planning slots must be counted");
+        assert_eq!(field("forecast_cache_hits").as_f64("fh").unwrap(), 0.0);
         let seed_of = |cell: &Value| {
             let fields = cell.as_object("cell").unwrap();
             fields

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod engine;
 pub mod experiments;
 pub mod export;
@@ -34,6 +35,7 @@ mod outcome;
 pub mod spec_json;
 mod weeksim;
 
+pub use cache::CacheStats;
 pub use engine::{
     AblationFlags, CellOutcome, CellSpec, Engine, ExperimentSpec, FleetSpec, GroupOutcome,
     PolicySpec, PredictorSpec, ServerSpec, SweepResult,

@@ -1,10 +1,13 @@
-use ntc_core::{AllocationPolicy, DvfsGovernor, SlotContext};
+use std::sync::Arc;
+
+use ntc_core::{AllocationPolicy, DvfsGovernor, SlotContext, SlotPlan};
 use ntc_forecast::Predictor;
 use ntc_power::ServerPowerModel;
-use ntc_trace::TimeSeries;
+use ntc_trace::{DayCache, TimeSeries};
 use ntc_units::{Energy, Frequency, Percent, Power, Seconds};
 use ntc_workload::Fleet;
 
+use crate::cache::{CacheStats, DayForecast, RunCaches};
 use crate::{SlotOutcome, WeekOutcome};
 
 /// Drives an allocation policy over the evaluation week.
@@ -20,6 +23,28 @@ pub struct WeekSim<'a> {
     max_servers: usize,
     eval_start: usize,
     qos_floor: Option<Frequency>,
+    day_cache: bool,
+}
+
+/// Lazily built day-level planning state of one run: the current day's
+/// forecast and moment caches, refreshed only when a planning slot
+/// crosses a day boundary (and skipped entirely on plan-cache hits).
+struct DayState {
+    forecast: Option<Arc<DayForecast>>,
+    forecast_day: Option<usize>,
+    moments: Option<(DayCache, DayCache)>,
+    moments_day: Option<usize>,
+}
+
+impl DayState {
+    fn new() -> Self {
+        Self {
+            forecast: None,
+            forecast_day: None,
+            moments: None,
+            moments_day: None,
+        }
+    }
 }
 
 /// Builder for [`WeekSim`], collecting the optional knobs (currently the
@@ -34,6 +59,7 @@ pub struct WeekSimBuilder<'a> {
     server: ServerPowerModel,
     max_servers: usize,
     qos_floor: Option<Frequency>,
+    day_cache: bool,
 }
 
 impl<'a> WeekSimBuilder<'a> {
@@ -49,6 +75,25 @@ impl<'a> WeekSimBuilder<'a> {
     /// progress.
     pub fn qos_floor(mut self, floor: Frequency) -> Self {
         self.qos_floor = Some(floor);
+        self
+    }
+
+    /// Enables or disables the day-level moment cache (default: on).
+    ///
+    /// When on, each planning day builds one
+    /// [`DayCache`](ntc_trace::DayCache) of prefix sums over the day's
+    /// prediction series, and every slot context answers its window
+    /// covariances from it in O(1) instead of rebuilding Pearson terms
+    /// per slot. Per-series means, variances and every degenerate-σ
+    /// decision are bit-identical either way; pairwise covariances
+    /// agree to ulp precision (prefix vs centered accumulation), so a
+    /// packing race decided by an *exact* score tie can resolve
+    /// differently — week outcomes are statistically indistinguishable
+    /// but not guaranteed bit-equal across this knob. `false` exists
+    /// for benchmarking the rebuild cost and as an escape hatch; both
+    /// settings are individually deterministic.
+    pub fn day_moment_cache(mut self, enabled: bool) -> Self {
+        self.day_cache = enabled;
         self
     }
 
@@ -77,6 +122,7 @@ impl<'a> WeekSimBuilder<'a> {
             max_servers: self.max_servers,
             eval_start: have - week,
             qos_floor: self.qos_floor,
+            day_cache: self.day_cache,
         })
     }
 
@@ -110,6 +156,7 @@ impl<'a> WeekSim<'a> {
             server,
             max_servers,
             qos_floor: None,
+            day_cache: true,
         }
     }
 
@@ -158,36 +205,44 @@ impl<'a> WeekSim<'a> {
     /// history seen so far and forecasts the day ahead; each hourly slot
     /// is allocated from its window of that forecast.
     pub fn run(&self, policy: &dyn AllocationPolicy, predictor: &dyn Predictor) -> WeekOutcome {
-        self.run_inner(policy, Some(predictor))
+        self.run_counted(policy, Some(predictor), &RunCaches::none())
+            .0
     }
 
     /// Runs `policy` with *oracle* predictions (the actual traces) —
     /// isolates allocation quality from forecast quality, and is what
     /// the allocation ablations use.
     pub fn run_with_oracle(&self, policy: &dyn AllocationPolicy) -> WeekOutcome {
-        self.run_inner(policy, None)
+        self.run_counted(policy, None, &RunCaches::none()).0
     }
 
-    fn run_inner(
+    /// [`run`](Self::run)/[`run_with_oracle`](Self::run_with_oracle)
+    /// with the engine's shared caches threaded in and hit/miss
+    /// counters returned; the public wrappers pass [`RunCaches::none`].
+    ///
+    /// A slot whose plan is already in the shared cache skips *all* of
+    /// its prediction work — forecast, day-moment build and packing —
+    /// and goes straight to replay.
+    pub(crate) fn run_counted(
         &self,
         policy: &dyn AllocationPolicy,
         predictor: Option<&dyn Predictor>,
-    ) -> WeekOutcome {
+        caches: &RunCaches<'_>,
+    ) -> (WeekOutcome, CacheStats) {
         let grid = self.fleet.grid();
         let sps = grid.samples_per_slot();
-        let per_day = grid.samples_per_day();
         let slots = self.eval_slots();
-        let slots_per_day = per_day / sps;
+        let slots_per_day = grid.samples_per_day() / sps;
         let n_vms = self.fleet.len();
         let governor = DvfsGovernor::new(&self.server);
 
-        let mut day_forecast_cpu: Vec<TimeSeries> = Vec::new();
-        let mut day_forecast_mem: Vec<TimeSeries> = Vec::new();
+        let mut stats = CacheStats::default();
+        let mut state = DayState::new();
 
         // EPACT re-plans every slot; the consolidation baselines follow
         // daily patterns and keep one plan in force for 24 slots.
         let period = policy.reallocation_period_slots().clamp(1, slots_per_day);
-        let mut current_plan: Option<ntc_core::SlotPlan> = None;
+        let mut current_plan: Option<Arc<SlotPlan>> = None;
         let mut migrations_this_slot;
 
         // Slot-replay buffers, reused across all 168 slots instead of
@@ -204,47 +259,40 @@ impl<'a> WeekSim<'a> {
             let start = self.eval_start + slot * sps;
             let range = start..start + sps;
 
-            // Refresh the day-ahead forecast at each day boundary.
-            if let (Some(p), 0) = (predictor, slot % slots_per_day) {
-                day_forecast_cpu = (0..n_vms)
-                    .map(|v| p.forecast(&self.fleet.vms()[v].cpu.window(0..start), per_day))
-                    .collect();
-                day_forecast_mem = (0..n_vms)
-                    .map(|v| p.forecast(&self.fleet.vms()[v].mem.window(0..start), per_day))
-                    .collect();
-            }
-
             if slot % period == 0 {
-                // Prediction window covering the whole allocation period
-                // (or the oracle's actuals).
-                let window_len = sps * period.min(slots - slot);
-                let offset = (slot % slots_per_day) * sps;
-                let (pred_cpu, pred_mem): (Vec<TimeSeries>, Vec<TimeSeries>) = match predictor {
-                    Some(_) => (
-                        day_forecast_cpu
-                            .iter()
-                            .map(|s| s.window(offset..offset + window_len))
-                            .collect(),
-                        day_forecast_mem
-                            .iter()
-                            .map(|s| s.window(offset..offset + window_len))
-                            .collect(),
-                    ),
-                    None => (
-                        self.fleet
-                            .vms()
-                            .iter()
-                            .map(|v| v.cpu.window(start..start + window_len))
-                            .collect(),
-                        self.fleet
-                            .vms()
-                            .iter()
-                            .map(|v| v.mem.window(start..start + window_len))
-                            .collect(),
-                    ),
+                // Shared-plan fast path first: a hit skips forecasting,
+                // moment building and packing for the whole period.
+                let new_plan: Arc<SlotPlan> = match caches.plans.and_then(|g| g.slot(slot)) {
+                    Some(lock) => {
+                        if let Some(plan) = lock.get() {
+                            stats.plan_hits += 1;
+                            Arc::clone(plan)
+                        } else {
+                            let mut computed = false;
+                            let plan = lock.get_or_init(|| {
+                                computed = true;
+                                Arc::new(self.plan_slot(
+                                    policy, predictor, caches, slot, period, slots, &mut state,
+                                    &mut stats,
+                                ))
+                            });
+                            if computed {
+                                stats.plan_misses += 1;
+                            } else {
+                                // Another worker initialized the lock
+                                // between our `get` and `get_or_init`.
+                                stats.plan_hits += 1;
+                            }
+                            Arc::clone(plan)
+                        }
+                    }
+                    None => {
+                        stats.plan_misses += 1;
+                        Arc::new(self.plan_slot(
+                            policy, predictor, caches, slot, period, slots, &mut state, &mut stats,
+                        ))
+                    }
                 };
-                let ctx = SlotContext::new(&pred_cpu, &pred_mem, &self.server, self.max_servers);
-                let new_plan = policy.allocate(&ctx);
                 migrations_this_slot = match &current_plan {
                     Some(prev) => ntc_core::migration_count(prev, &new_plan),
                     None => 0,
@@ -253,7 +301,7 @@ impl<'a> WeekSim<'a> {
             } else {
                 migrations_this_slot = 0;
             }
-            let plan = current_plan.as_ref().expect("plan set at period start");
+            let plan = current_plan.as_deref().expect("plan set at period start");
 
             // Replay the slot with the actual traces, recycling the
             // window and aggregate buffers hoisted above.
@@ -314,9 +362,171 @@ impl<'a> WeekSim<'a> {
             });
         }
 
-        WeekOutcome {
-            policy: policy.name().to_string(),
-            slots: outcomes,
+        (
+            WeekOutcome {
+                policy: policy.name().to_string(),
+                slots: outcomes,
+            },
+            stats,
+        )
+    }
+
+    /// Plans one slot: ensures the day's forecast and moment caches are
+    /// current, builds the prediction windows and runs the policy.
+    /// Called only on plan-cache misses (or uncached runs).
+    #[allow(clippy::too_many_arguments)]
+    fn plan_slot(
+        &self,
+        policy: &dyn AllocationPolicy,
+        predictor: Option<&dyn Predictor>,
+        caches: &RunCaches<'_>,
+        slot: usize,
+        period: usize,
+        slots: usize,
+        state: &mut DayState,
+        stats: &mut CacheStats,
+    ) -> SlotPlan {
+        let grid = self.fleet.grid();
+        let sps = grid.samples_per_slot();
+        let per_day = grid.samples_per_day();
+        let slots_per_day = per_day / sps;
+        let day = slot / slots_per_day;
+        let start = self.eval_start + slot * sps;
+
+        // Prediction window covering the whole allocation period.
+        let window_len = sps * period.min(slots - slot);
+        let offset = (slot % slots_per_day) * sps;
+
+        // Refresh the day-ahead forecast lazily: only planning days are
+        // forecast, and a day whose plans all hit is never forecast.
+        if let Some(p) = predictor {
+            if state.forecast_day != Some(day) {
+                state.forecast = Some(self.day_forecast(p, day, caches, stats));
+                state.forecast_day = Some(day);
+                state.moments = None;
+                state.moments_day = None;
+            }
+        }
+
+        // Day-level moment caches: one prefix-sum build per day serves
+        // every re-plan of that day with O(1) windowed covariances.
+        if self.day_cache && state.moments_day != Some(day) {
+            let day_start = self.eval_start + day * per_day;
+            // Every plan window is aligned to the slot grid, so the
+            // caches keep slot-major block planes of pair products.
+            let moments = match (&state.forecast, predictor) {
+                (Some(fc), Some(_)) => (
+                    DayCache::with_block_size(&fc.cpu, sps),
+                    DayCache::with_block_size(&fc.mem, sps),
+                ),
+                _ => {
+                    let cpu: Vec<TimeSeries> = self
+                        .fleet
+                        .vms()
+                        .iter()
+                        .map(|v| v.cpu.window(day_start..day_start + per_day))
+                        .collect();
+                    let mem: Vec<TimeSeries> = self
+                        .fleet
+                        .vms()
+                        .iter()
+                        .map(|v| v.mem.window(day_start..day_start + per_day))
+                        .collect();
+                    (
+                        DayCache::with_block_size(&cpu, sps),
+                        DayCache::with_block_size(&mem, sps),
+                    )
+                }
+            };
+            state.moments = Some(moments);
+            state.moments_day = Some(day);
+        }
+
+        let (pred_cpu, pred_mem): (Vec<TimeSeries>, Vec<TimeSeries>) = match &state.forecast {
+            Some(fc) if predictor.is_some() => (
+                fc.cpu
+                    .iter()
+                    .map(|s| s.window(offset..offset + window_len))
+                    .collect(),
+                fc.mem
+                    .iter()
+                    .map(|s| s.window(offset..offset + window_len))
+                    .collect(),
+            ),
+            _ => (
+                self.fleet
+                    .vms()
+                    .iter()
+                    .map(|v| v.cpu.window(start..start + window_len))
+                    .collect(),
+                self.fleet
+                    .vms()
+                    .iter()
+                    .map(|v| v.mem.window(start..start + window_len))
+                    .collect(),
+            ),
+        };
+        let mut ctx = SlotContext::new(&pred_cpu, &pred_mem, &self.server, self.max_servers);
+        if let Some((dc_cpu, dc_mem)) = &state.moments {
+            if offset + window_len <= per_day {
+                ctx = ctx.with_day_window(dc_cpu, dc_mem, offset);
+            }
+        }
+        policy.allocate(&ctx)
+    }
+
+    /// The day-ahead forecast for `day`, shared through the engine's
+    /// forecast cache when one is attached. Matches the eager
+    /// day-boundary refresh of the pre-cache simulator bit for bit: the
+    /// predictor sees all history up to the day's first sample.
+    fn day_forecast(
+        &self,
+        p: &dyn Predictor,
+        day: usize,
+        caches: &RunCaches<'_>,
+        stats: &mut CacheStats,
+    ) -> Arc<DayForecast> {
+        let per_day = self.fleet.grid().samples_per_day();
+        let day_start = self.eval_start + day * per_day;
+        let build = || {
+            Arc::new(DayForecast {
+                cpu: self
+                    .fleet
+                    .vms()
+                    .iter()
+                    .map(|v| p.forecast(&v.cpu.window(0..day_start), per_day))
+                    .collect(),
+                mem: self
+                    .fleet
+                    .vms()
+                    .iter()
+                    .map(|v| p.forecast(&v.mem.window(0..day_start), per_day))
+                    .collect(),
+            })
+        };
+        match caches.forecasts.and_then(|days| days.get(day)) {
+            Some(lock) => {
+                if let Some(fc) = lock.get() {
+                    stats.forecast_hits += 1;
+                    Arc::clone(fc)
+                } else {
+                    let mut computed = false;
+                    let fc = lock.get_or_init(|| {
+                        computed = true;
+                        build()
+                    });
+                    if computed {
+                        stats.forecast_misses += 1;
+                    } else {
+                        stats.forecast_hits += 1;
+                    }
+                    Arc::clone(fc)
+                }
+            }
+            None => {
+                stats.forecast_misses += 1;
+                build()
+            }
         }
     }
 }
@@ -417,6 +627,37 @@ mod tests {
             .sum::<f64>()
             / e_floor.slots.len() as f64;
         assert!(mean_f >= 1800.0 - 1e-6, "mean frequency {mean_f} MHz");
+    }
+
+    #[test]
+    fn day_moment_cache_is_statistically_equivalent() {
+        // Covariances from the day cache agree with the per-slot
+        // rebuild to ulp precision, so only exact score ties can
+        // resolve differently; the week metrics must stay within
+        // rounding distance of each other (and typically match
+        // exactly, as COAT does).
+        let fleet = small_fleet();
+        let cached = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let rebuilt = WeekSim::builder(&fleet, ServerPowerModel::ntc(), 600)
+            .day_moment_cache(false)
+            .build_or_panic();
+        for policy in [&Epact::new() as &dyn AllocationPolicy, &Coat::new()] {
+            let a = cached.run_with_oracle(policy);
+            let b = rebuilt.run_with_oracle(policy);
+            assert_eq!(a.slots.len(), b.slots.len());
+            assert_eq!(a.total_violations(), b.total_violations());
+            let (ea, eb) = (a.total_energy().as_joules(), b.total_energy().as_joules());
+            assert!(
+                (ea - eb).abs() <= 1e-3 * eb,
+                "{}: day cache moved energy beyond tie noise: {ea} vs {eb}",
+                policy.name()
+            );
+            assert!(
+                (a.mean_active_servers() - b.mean_active_servers()).abs() <= 0.1,
+                "{}: active-server profile shifted",
+                policy.name()
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,32 @@
 //! population moments, a `1e-12` degenerate-σ floor mapping to φ = 0,
 //! and clamping into `[-1, 1]`.
 //!
+//! # Day-level windows and the prefix-sum algebra
+//!
+//! A cache can also *borrow* a window of a [`DayCache`] (see
+//! [`CorrelationCache::from_day_window`]), which hoists the per-slot
+//! work one level further: the day cache stores prefix sums
+//! `P[t] = Σ_{s<t} x[s]`, `Q[t] = Σ_{s<t} x[s]²` and, lazily per pair,
+//! `R[t] = Σ_{s<t} x[s]·y[s]`, so a slot window `[a, b)` of width `w`
+//! answers
+//!
+//! ```text
+//! mean      = (P[b] − P[a]) / w
+//! variance  = (Q[b] − Q[a]) / w − mean²
+//! cov(x, y) = (R[b] − R[a]) / w − mean_x · mean_y
+//! ```
+//!
+//! in O(1) instead of O(w) — one day of prefix work serves all 24
+//! hourly re-plans. One numerical subtlety: the uncentered variance
+//! form cancels catastrophically on near-constant windows (AR(1)
+//! traces pinned at their floor), which can land σ on the wrong side
+//! of the `1e-12` degeneracy floor relative to the exact two-pass
+//! computation. A windowed cache therefore recomputes per-series means
+//! and variances *exactly* (same two-pass code as the owning
+//! constructor, over the same bits) and reserves the prefix trick for
+//! the pairwise covariances, where ulp-level drift only matters on
+//! exact score ties.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,7 +68,10 @@
 //! assert!((pattern.complement_correlation(&cache, 1) - 1.0).abs() < 1e-12);
 //! ```
 
-use crate::{stats, TimeSeries};
+use std::ops::Range;
+
+use crate::windowed::Error;
+use crate::{stats, DayCache, TimeSeries};
 
 /// Not-yet-memoized marker for pairwise covariance slots. Input series
 /// are asserted finite, so a genuine covariance can never be NaN.
@@ -60,33 +89,50 @@ pub struct PatternStats {
     cov_with: Vec<f64>,
 }
 
+/// Where a cache's series values and covariance terms live: owned and
+/// centered per slot (the classic path), or borrowed as a window of a
+/// day-level prefix-sum cache.
+#[derive(Debug, Clone)]
+enum Backing<'d> {
+    Owned {
+        /// Row-major `num_series × len` mean-centered values.
+        centered: Vec<f64>,
+        /// Row-major `num_series × num_series`, `UNSET` until memoized.
+        cov: Vec<f64>,
+    },
+    Windowed {
+        day: &'d DayCache,
+        window: Range<usize>,
+        /// Exact per-series window means (two-pass, not prefix-derived).
+        means: Vec<f64>,
+    },
+}
+
 /// See the [module docs](self).
 #[derive(Debug, Clone)]
-pub struct CorrelationCache {
+pub struct CorrelationCache<'d> {
     num_series: usize,
-    /// Row-major `num_series × len` mean-centered values.
-    centered: Vec<f64>,
     len: usize,
     vars: Vec<f64>,
     stds: Vec<f64>,
-    /// Row-major `num_series × num_series`, `UNSET` until memoized.
-    cov: Vec<f64>,
+    backing: Backing<'d>,
 }
 
-impl CorrelationCache {
+impl CorrelationCache<'static> {
     /// Builds the cache for a slot's per-VM series, computing each
     /// series' population mean, variance and standard deviation.
     ///
-    /// # Panics
-    ///
-    /// Panics if `series` is empty or the series lengths differ.
-    pub fn new(series: &[TimeSeries]) -> Self {
-        assert!(!series.is_empty(), "correlation cache needs a series set");
+    /// Fails with [`Error::EmptySeriesSet`] on an empty slice and
+    /// [`Error::RaggedSeries`] when the series lengths differ; the
+    /// error converts into `ntc_core::Error`.
+    pub fn try_new(series: &[TimeSeries]) -> Result<Self, Error> {
+        if series.is_empty() {
+            return Err(Error::EmptySeriesSet);
+        }
         let len = series[0].len();
-        assert!(
-            series.iter().all(|s| s.len() == len),
-            "all series must cover the same slot"
-        );
+        if series.iter().any(|s| s.len() != len) {
+            return Err(Error::RaggedSeries);
+        }
         let num_series = series.len();
         let mut centered = Vec::with_capacity(num_series * len);
         let mut vars = Vec::with_capacity(num_series);
@@ -98,13 +144,68 @@ impl CorrelationCache {
             vars.push(var);
             stds.push(var.sqrt());
         }
-        Self {
+        Ok(Self {
             num_series,
-            centered,
             len,
             vars,
             stds,
-            cov: vec![UNSET; num_series * num_series],
+            backing: Backing::Owned {
+                centered,
+                cov: vec![UNSET; num_series * num_series],
+            },
+        })
+    }
+
+    /// Panicking form of [`try_new`](Self::try_new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `series` is empty or the series lengths differ.
+    #[track_caller]
+    pub fn new(series: &[TimeSeries]) -> Self {
+        match Self::try_new(series) {
+            Ok(cache) => cache,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+impl<'d> CorrelationCache<'d> {
+    /// Builds a cache over `window` of a [`DayCache`] without copying
+    /// or re-centering the series: covariances come from the day's O(1)
+    /// prefix sums, while per-series means and variances are recomputed
+    /// exactly from the raw window so degenerate-σ decisions (the
+    /// `1e-12` floor) are bit-identical to [`new`](Self::new) on the
+    /// same values — see the [module docs](self).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` reaches outside the day.
+    pub fn from_day_window(day: &'d DayCache, window: Range<usize>) -> Self {
+        assert!(
+            window.start <= window.end && window.end <= day.len(),
+            "window {}..{} outside day of {} samples",
+            window.start,
+            window.end,
+            day.len()
+        );
+        let num_series = day.num_series();
+        let mut means = Vec::with_capacity(num_series);
+        let mut vars = Vec::with_capacity(num_series);
+        let mut stds = Vec::with_capacity(num_series);
+        for i in 0..num_series {
+            let w = &day.series(i)[window.clone()];
+            means.push(stats::mean(w));
+            let var = stats::variance(w);
+            vars.push(var);
+            stds.push(var.sqrt());
+        }
+        Self {
+            num_series,
+            len: window.len(),
+            vars,
+            stds,
+            backing: Backing::Windowed { day, window, means },
         }
     }
 
@@ -124,24 +225,51 @@ impl CorrelationCache {
         self.stds[i]
     }
 
-    /// Population covariance of series `i` and `j` (identical to
-    /// [`stats::covariance`]), computed on first use and memoized.
+    /// Population covariance of series `i` and `j` (matching
+    /// [`stats::covariance`]), computed on first use and memoized —
+    /// per-slot for an owning cache, per-day for a windowed one.
     pub fn covariance(&mut self, i: usize, j: usize) -> f64 {
-        let slot = i * self.num_series + j;
-        let cached = self.cov[slot];
-        if !cached.is_nan() {
-            return cached;
+        let (num_series, len) = (self.num_series, self.len);
+        match &mut self.backing {
+            Backing::Owned { centered, cov } => {
+                let slot = i * num_series + j;
+                let cached = cov[slot];
+                if !cached.is_nan() {
+                    return cached;
+                }
+                let a = &centered[i * len..(i + 1) * len];
+                let b = &centered[j * len..(j + 1) * len];
+                let c = if len < 2 {
+                    0.0
+                } else {
+                    a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>() / len as f64
+                };
+                cov[slot] = c;
+                cov[j * num_series + i] = c;
+                c
+            }
+            Backing::Windowed { day, window, means } => {
+                day.window_covariance_with_means(i, j, window.clone(), means[i], means[j])
+            }
         }
-        let a = &self.centered[i * self.len..(i + 1) * self.len];
-        let b = &self.centered[j * self.len..(j + 1) * self.len];
-        let c = if self.len < 2 {
-            0.0
-        } else {
-            a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>() / self.len as f64
-        };
-        self.cov[slot] = c;
-        self.cov[j * self.num_series + i] = c;
-        c
+    }
+
+    /// Adds `cov(u, v)` into `acc[v]` for every series `v` — the bulk
+    /// form of [`covariance`](Self::covariance) behind
+    /// [`PatternStats::admit`]. The per-pair arithmetic is identical to
+    /// the scalar calls in order and value; bulking only amortizes the
+    /// dispatch, and for a windowed cache the day-cache borrow, across
+    /// the whole row — the difference between the day-level cache
+    /// winning and losing the EPACT hot loop.
+    pub fn accumulate_covariance_row(&mut self, u: usize, acc: &mut [f64]) {
+        assert_eq!(acc.len(), self.num_series, "one accumulator per series");
+        if let Backing::Windowed { day, window, means } = &self.backing {
+            day.accumulate_window_covariances(u, window.clone(), means, acc);
+            return;
+        }
+        for (v, acc_v) in acc.iter_mut().enumerate() {
+            *acc_v += self.covariance(u, v);
+        }
     }
 
     /// Pearson correlation of series `i` and `j`, memoizing the
@@ -173,13 +301,11 @@ impl PatternStats {
 
     /// Folds series `u` into the pattern sum, updating `var(S)` and the
     /// running `cov(S, ·)` vector from cached pairwise terms.
-    pub fn admit(&mut self, cache: &mut CorrelationCache, u: usize) {
+    pub fn admit(&mut self, cache: &mut CorrelationCache<'_>, u: usize) {
         // Read cov(S, u) *before* the cov_with update below folds
         // cov(u, u) into it.
         self.var += cache.variance(u) + 2.0 * self.cov_with[u];
-        for v in 0..self.cov_with.len() {
-            self.cov_with[v] += cache.covariance(u, v);
-        }
+        cache.accumulate_covariance_row(u, &mut self.cov_with);
     }
 
     /// Population variance of the pattern sum. Clamped at zero: the
@@ -194,7 +320,7 @@ impl PatternStats {
     ///
     /// Degenerate σ (below `1e-12`) on either side yields 0, matching
     /// [`stats::pearson_correlation`] on the materialized complement.
-    pub fn complement_correlation(&self, cache: &CorrelationCache, v: usize) -> f64 {
+    pub fn complement_correlation(&self, cache: &CorrelationCache<'_>, v: usize) -> f64 {
         let std_s = self.variance().sqrt();
         let std_v = cache.std_dev(v);
         if std_s < 1e-12 || std_v < 1e-12 {
@@ -341,5 +467,91 @@ mod tests {
     fn ragged_input_panics() {
         let vms = vec![TimeSeries::zeros(4), TimeSeries::zeros(5)];
         let _ = CorrelationCache::new(&vms);
+    }
+
+    #[test]
+    fn try_new_reports_bad_input() {
+        assert!(matches!(
+            CorrelationCache::try_new(&[]),
+            Err(crate::Error::EmptySeriesSet)
+        ));
+        let vms = vec![TimeSeries::zeros(4), TimeSeries::zeros(5)];
+        assert!(matches!(
+            CorrelationCache::try_new(&vms),
+            Err(crate::Error::RaggedSeries)
+        ));
+        assert!(CorrelationCache::try_new(&fixtures(2, 4)).is_ok());
+    }
+
+    /// A windowed cache over `[a, b)` of a day must agree with an
+    /// owning cache built on the copied window: means/variances/stds
+    /// bitwise (same two-pass code over the same bits), covariances to
+    /// ulp-level tolerance (prefix vs centered accumulation).
+    #[test]
+    fn day_window_matches_owned_cache_on_window_copy() {
+        let series = fixtures(6, 48);
+        let day = crate::DayCache::new(&series);
+        for (a, b) in [(0, 12), (12, 24), (24, 36), (36, 48), (7, 19)] {
+            let copies: Vec<TimeSeries> = series.iter().map(|s| s.window(a..b)).collect();
+            let mut owned = CorrelationCache::new(&copies);
+            let mut windowed = CorrelationCache::from_day_window(&day, a..b);
+            assert_eq!(windowed.num_series(), owned.num_series());
+            for i in 0..6 {
+                assert_eq!(windowed.variance(i), owned.variance(i), "var {i} [{a},{b})");
+                assert_eq!(windowed.std_dev(i), owned.std_dev(i), "std {i} [{a},{b})");
+                for j in 0..6 {
+                    let scale = owned.covariance(i, j).abs().max(1.0);
+                    assert!(
+                        (windowed.covariance(i, j) - owned.covariance(i, j)).abs() < 1e-9 * scale,
+                        "cov ({i}, {j}) window [{a}, {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn day_window_pattern_scores_match_owned() {
+        let series = fixtures(8, 24);
+        let day = crate::DayCache::new(&series);
+        let copies: Vec<TimeSeries> = series.iter().map(|s| s.window(6..18)).collect();
+        let mut owned = CorrelationCache::new(&copies);
+        let mut windowed = CorrelationCache::from_day_window(&day, 6..18);
+        let mut p_owned = owned.pattern();
+        let mut p_windowed = windowed.pattern();
+        for u in [2, 5, 0] {
+            p_owned.admit(&mut owned, u);
+            p_windowed.admit(&mut windowed, u);
+        }
+        for v in 0..8 {
+            let a = p_owned.complement_correlation(&owned, v);
+            let b = p_windowed.complement_correlation(&windowed, v);
+            assert!((a - b).abs() < 1e-9, "candidate {v}: {a} vs {b}");
+        }
+    }
+
+    /// The degeneracy decision (σ below the `1e-12` floor → φ = 0) must
+    /// not flip between the windowed and owning paths on constant
+    /// windows — the reason a windowed cache recomputes σ exactly.
+    #[test]
+    fn day_window_degenerate_sigma_is_bitwise_zero() {
+        let series = vec![
+            TimeSeries::constant(24, 0.62),
+            TimeSeries::from_values((0..24).map(|t| (t % 5) as f64).collect()),
+        ];
+        let day = crate::DayCache::new(&series);
+        let mut windowed = CorrelationCache::from_day_window(&day, 3..15);
+        assert_eq!(windowed.std_dev(0), 0.0);
+        assert_eq!(windowed.correlation(0, 1), 0.0);
+        let mut pattern = windowed.pattern();
+        pattern.admit(&mut windowed, 0);
+        assert_eq!(pattern.complement_correlation(&windowed, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside day")]
+    fn day_window_out_of_range_panics() {
+        let day = crate::DayCache::new(&fixtures(2, 8));
+        let _ = CorrelationCache::from_day_window(&day, 4..9);
     }
 }

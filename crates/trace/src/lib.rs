@@ -13,7 +13,10 @@
 //!   Euclidean distance (the Dist term of Eq. 2) and supporting moments;
 //! * [`CorrelationCache`] / [`PatternStats`] — memoized pairwise Pearson
 //!   terms and O(1) running-pattern correlations for the allocator
-//!   candidate scans of Algorithms 1 and 2.
+//!   candidate scans of Algorithms 1 and 2;
+//! * [`DayCache`] — day-level prefix sums answering windowed
+//!   mean/variance/covariance queries in O(1), so one cache serves all
+//!   hourly re-plans of a day.
 //!
 //! # Examples
 //!
@@ -34,7 +37,9 @@ mod grid;
 pub mod rolling;
 mod series;
 pub mod stats;
+mod windowed;
 
 pub use corr::{CorrelationCache, PatternStats};
 pub use grid::SampleGrid;
 pub use series::TimeSeries;
+pub use windowed::{DayCache, Error};

@@ -1,6 +1,6 @@
 //! Property-based tests for the time-series substrate.
 
-use ntc_trace::{stats, TimeSeries};
+use ntc_trace::{stats, DayCache, TimeSeries};
 use proptest::prelude::*;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -79,5 +79,31 @@ proptest! {
     fn quantile_monotone(v in finite_vec(32), p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
         let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
         prop_assert!(stats::quantile(&v, lo) <= stats::quantile(&v, hi));
+    }
+
+    /// The day cache's O(1) windowed moments must agree with the direct
+    /// `stats` computations on the copied sub-window for every random
+    /// window of a random day. Values are <= 100 and days are 64
+    /// samples, so prefix-sum cancellation stays far below the 1e-6
+    /// tolerance.
+    #[test]
+    fn windowed_moments_match_direct_stats(
+        a in finite_vec(64),
+        b in finite_vec(64),
+        start in 0usize..60,
+        width in 2usize..32,
+    ) {
+        let end = (start + width).min(64);
+        let series = [TimeSeries::from_values(a.clone()), TimeSeries::from_values(b.clone())];
+        let day = DayCache::new(&series);
+        let wa = &a[start..end];
+        let wb = &b[start..end];
+        prop_assert!((day.window_mean(0, start..end) - stats::mean(wa)).abs() < 1e-6);
+        prop_assert!((day.window_variance(1, start..end) - stats::variance(wb)).abs() < 1e-6);
+        let direct = stats::covariance(wa, wb);
+        let fast = day.window_covariance(0, 1, start..end);
+        prop_assert!((fast - direct).abs() < 1e-6, "cov {fast} vs {direct} on [{start}, {end})");
+        // covariance is symmetric through the triangular pair storage
+        prop_assert!((day.window_covariance(1, 0, start..end) - fast).abs() == 0.0);
     }
 }

@@ -64,6 +64,40 @@ fn multi_axis_sweep_is_bit_identical_to_sequential() {
 }
 
 #[test]
+fn cached_sweep_is_bit_identical_to_uncached() {
+    // The golden equivalence for the cross-cell caches: a default
+    // (cached, parallel) sweep over 2 seeds x 2 static-power scales
+    // must reproduce the uncached sequential engine bit for bit, while
+    // actually deduplicating work — COAT plans purely at Fmax, so its
+    // plans are shared across the two scale arms (7 planning slots x 2
+    // fleets of reuse at minimum).
+    let spec = multi_axis_sweep();
+    let cached = Engine::new().run(&spec).expect("cached run");
+    let uncached = Engine::with_threads(1)
+        .caching(false)
+        .run_sequential(&spec)
+        .expect("uncached run");
+    assert_eq!(cached.outcomes(), uncached.outcomes());
+    assert_eq!(cached.seed_groups(), uncached.seed_groups());
+
+    let totals = cached.cache_totals();
+    assert!(
+        totals.plan_hits >= 14,
+        "COAT's scale arms must share plans, got {totals:?}"
+    );
+    assert!(totals.plan_misses > 0, "someone must have planned");
+    // Oracle sweep: no forecasts at all.
+    assert_eq!(totals.forecast_hits + totals.forecast_misses, 0);
+
+    let uncached_totals = uncached.cache_totals();
+    assert_eq!(
+        (uncached_totals.plan_hits, uncached_totals.forecast_hits),
+        (0, 0),
+        "caching(false) must not share anything"
+    );
+}
+
+#[test]
 fn epact_saves_energy_over_coat_on_ntc() {
     let spec = small_sweep();
     let sweep = Engine::new().run(&spec).expect("sweep");
