@@ -111,6 +111,13 @@ impl Kernel {
         vec![Self::low_mem(), Self::mid_mem(), Self::high_mem()]
     }
 
+    /// Looks up a paper class by its display name (`"low-mem"`,
+    /// `"mid-mem"`, `"high-mem"`); `None` for anything else. This is the
+    /// bridge from workload-level class labels to simulatable kernels.
+    pub fn by_name(name: &str) -> Option<Kernel> {
+        Self::paper_classes().into_iter().find(|k| k.name() == name)
+    }
+
     /// The kernel's display name.
     pub fn name(&self) -> &str {
         &self.name

@@ -1,7 +1,7 @@
 //! Subcommand implementations for the `ntc-dc` binary.
 
 use ntc_datacenter::{
-    experiments, export, spec_json, Engine, ExperimentSpec, FleetSpec, PredictorSpec,
+    experiments, export, spec_json, BackendSpec, Engine, ExperimentSpec, FleetSpec, PredictorSpec,
 };
 use ntc_power::ServerPowerModel;
 use ntc_units::Percent;
@@ -134,8 +134,9 @@ pub fn week(args: &[String]) -> Result<(), String> {
 }
 
 /// `ntc-dc sweep [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]
-/// [--static-power-scales X,Y] [--threads N] [--arima] [--emit-spec]
-/// [--json] [--no-cache] [--cache-stats]`
+/// [--static-power-scales X,Y] [--backends analytic,archsim]
+/// [--threads N] [--arima] [--emit-spec] [--json] [--no-cache]
+/// [--cache-stats]`
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let mut spec = match args.iter().position(|a| a == "--spec") {
         Some(i) => {
@@ -152,6 +153,9 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     }
     if let Some(scales) = opt_list::<f64>(args, "--static-power-scales")? {
         spec.static_power_scales = scales;
+    }
+    if let Some(backends) = opt_list::<BackendSpec>(args, "--backends")? {
+        spec.backends = backends;
     }
     // --vms and --seed apply across the whole fleet set.
     if let Some(i) = args.iter().position(|a| a == "--vms") {
@@ -340,6 +344,12 @@ mod tests {
             .unwrap(),
             Some(vec![0.5, 1.5])
         );
+        assert_eq!(
+            opt_list::<BackendSpec>(&s(&["--backends", "analytic, archsim"]), "--backends")
+                .unwrap(),
+            Some(vec![BackendSpec::Analytic, BackendSpec::Archsim])
+        );
+        assert!(opt_list::<BackendSpec>(&s(&["--backends", "gem5"]), "--backends").is_err());
         assert_eq!(opt_list::<u64>(&s(&[]), "--seeds").unwrap(), None);
         assert!(opt_list::<u64>(&s(&["--seeds"]), "--seeds").is_err());
         assert!(opt_list::<u64>(&s(&["--seeds", "1,x"]), "--seeds").is_err());

@@ -65,6 +65,60 @@ impl DvfsGovernor {
     pub fn is_violated(&self, demand: f64, ceiling: Frequency) -> bool {
         demand / 100.0 * self.fmax.as_mhz() > ceiling.as_mhz() * (1.0 + 1e-9)
     }
+
+    /// The full per-sample governing decision — the *govern* stage of
+    /// the slot pipeline. Given a server's raw CPU/memory demand for one
+    /// 5-minute sample and the plan's frequency band, it settles the
+    /// serving frequency, the resulting core-busy utilization and the
+    /// demand-violation flag in one place, so every accounting backend
+    /// prices the same operating point.
+    ///
+    /// `floor` is the plan's DVFS floor (COAT-OPT pins it to the fixed
+    /// cap); `qos_floor`, when present, additionally lifts the level to
+    /// `min(qos_floor, ceiling)` (§VI-B3 per-class QoS-safe minima).
+    pub fn govern_sample(
+        &self,
+        demand_cpu: f64,
+        demand_mem: f64,
+        ceiling: Frequency,
+        floor: Frequency,
+        qos_floor: Option<Frequency>,
+    ) -> GovernedSample {
+        let demand_violated = self.is_violated(demand_cpu, ceiling) || demand_mem > 100.0 + 1e-9;
+        let mut freq = self
+            .level_for_demand(demand_cpu.min(100.0), ceiling)
+            .max(floor);
+        if let Some(q) = qos_floor {
+            freq = freq.max(q.min(ceiling));
+        }
+        let cpu_util = self.utilization_at(demand_cpu.min(100.0), freq);
+        GovernedSample {
+            freq,
+            cpu_util,
+            mem_util: Percent::new(demand_mem.min(100.0)),
+            demand_violated,
+        }
+    }
+}
+
+/// One server-sample operating point as settled by the govern stage:
+/// the DVFS level actually served, the core-busy utilization at that
+/// level, the (capped) memory utilization, and whether raw demand
+/// exceeded what the plan's ceiling could serve.
+///
+/// This is the unit of exchange between the govern stage and the
+/// accounting backends — backends price it but never change it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernedSample {
+    /// Serving frequency after floor/ceiling/QoS-floor resolution.
+    pub freq: Frequency,
+    /// Core-busy utilization at `freq` (running slower means busier).
+    pub cpu_util: Percent,
+    /// Memory utilization, capped at 100%.
+    pub mem_util: Percent,
+    /// Raw demand exceeded the ceiling's capacity (or memory overflowed):
+    /// the slot records a violation regardless of backend.
+    pub demand_violated: bool,
 }
 
 #[cfg(test)]

@@ -53,7 +53,7 @@ pub use alloc2d::{TwoDimAllocator, TwoDimAllocatorBuilder};
 pub use coat::{worst_case_power, Coat, CoatOpt};
 pub use epact::Epact;
 pub use error::{Error, Result};
-pub use governor::DvfsGovernor;
+pub use governor::{DvfsGovernor, GovernedSample};
 pub use loadbalance::LoadBalance;
 pub use migration::migration_count;
 pub use plan::{AllocationPolicy, SlotContext, SlotPlan};

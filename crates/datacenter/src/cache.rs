@@ -1,10 +1,16 @@
 //! Cross-cell memoization for the sweep engine: plan dedup over the
 //! static-power axis and day-forecast sharing across policies.
 //!
-//! Cells of one sweep differ along five axes, but two of them often do
-//! not change what a policy *plans*:
+//! Cells of one sweep differ along six axes, but three of them often
+//! do not change what a policy *plans*:
 //!
 //! * the QoS floor only shapes the online replay, never the plan;
+//! * the accounting backend only prices governed slots (the
+//!   conservation contract of [`crate::backend`]); its planning
+//!   fingerprint is folded into the key and is empty for both
+//!   built-ins, so `analytic` and `archsim` arms share plan groups —
+//!   and day-ahead forecasts, which depend on the fleet and predictor
+//!   alone;
 //! * a static-power scale changes the plan only through the quantities
 //!   the policy actually derives from the power model (`F_NTC_opt`, the
 //!   DVFS table, full-load powers). When those coincide across scales —
@@ -89,6 +95,13 @@ struct PlanKey {
     /// Bit patterns of the model-derived numbers the policy reads while
     /// planning; see [`planning_inputs`].
     inputs: Vec<u64>,
+    /// The backend's planning-relevant parameters
+    /// ([`BackendSpec::planning_inputs`]): empty for every backend that
+    /// honours the conservation contract of [`crate::backend`], so
+    /// cells differing only in backend share one plan group. A backend
+    /// that did parameterize planning would fingerprint differently
+    /// here and split, keeping the dedup sound.
+    backend_inputs: Vec<u64>,
 }
 
 /// The model-derived quantities `policy` reads during `allocate`, as
@@ -175,6 +188,7 @@ impl PlanCache {
                 correlation_only: spec.ablation.correlation_only,
                 max_servers: spec.max_servers,
                 inputs: planning_inputs(cell.policy, &cell.server_model(), spec.max_servers),
+                backend_inputs: cell.backend.planning_inputs(),
             };
             let idx = match keys.iter().position(|k| *k == key) {
                 Some(i) => i,
@@ -272,6 +286,20 @@ mod tests {
         assert_eq!(cells.len(), 3);
         assert_eq!(cache.num_groups(), 1);
         assert!(std::ptr::eq(cache.group(0), cache.group(2)));
+    }
+
+    #[test]
+    fn backend_arms_always_share_plans() {
+        // Both built-in backends conserve planning (empty
+        // planning_inputs): one group per policy across the axis.
+        use crate::backend::BackendSpec;
+        let mut spec = spec_with_scales(vec![1.0]);
+        spec.backends = vec![BackendSpec::Analytic, BackendSpec::Archsim];
+        let cells = spec.cells();
+        let cache = PlanCache::new(&spec, &cells);
+        assert_eq!(cells.len(), 6);
+        assert_eq!(cache.num_groups(), 3);
+        assert!(std::ptr::eq(cache.group(0), cache.group(3)));
     }
 
     #[test]

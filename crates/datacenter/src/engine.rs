@@ -53,6 +53,7 @@ use ntc_units::Frequency;
 use ntc_workload::{ClusterTraceGenerator, Fleet};
 use serde::{Deserialize, Serialize};
 
+use crate::backend::BackendSpec;
 use crate::cache::{CacheStats, ForecastCache, PlanCache, RunCaches};
 use crate::{MeanStd, WeekOutcome, WeekSim};
 
@@ -182,6 +183,10 @@ pub struct ExperimentSpec {
     /// QoS frequency floors in MHz (fourth axis); `None` = pure
     /// demand-proportional DVFS. Use `vec![None]` for a single arm.
     pub qos_floors_mhz: Vec<Option<f64>>,
+    /// Accounting-backend set (fifth axis); analytic power-model
+    /// integration and/or detailed archsim accounting. Use
+    /// `vec![BackendSpec::Analytic]` for the paper's single arm.
+    pub backends: Vec<BackendSpec>,
     /// Policy set (innermost axis).
     pub policies: Vec<PolicySpec>,
     /// Forecast pipeline shared by every cell.
@@ -207,6 +212,7 @@ impl ExperimentSpec {
             static_power_scales: vec![1.0],
             servers: vec![ServerSpec::Ntc, ServerSpec::Conventional],
             qos_floors_mhz: vec![None],
+            backends: vec![BackendSpec::Analytic],
             policies: vec![PolicySpec::Epact, PolicySpec::Coat, PolicySpec::CoatOpt],
             predictor: PredictorSpec::Oracle,
             max_servers: 600,
@@ -220,6 +226,7 @@ impl ExperimentSpec {
     /// # Panics
     ///
     /// Panics if the spec currently has no fleets to use as template.
+    #[must_use]
     pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
         let base = *self.fleets.first().expect("spec needs a template fleet");
         self.fleets = seeds
@@ -232,21 +239,24 @@ impl ExperimentSpec {
     /// Expands the cross product into concrete cells, in the
     /// deterministic order results are reported: fleets outermost, then
     /// static-power scales, then servers, then QoS floors, then
-    /// policies.
+    /// accounting backends, then policies.
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::new();
         for &fleet in &self.fleets {
             for &scale in &self.static_power_scales {
                 for &server in &self.servers {
                     for &floor in &self.qos_floors_mhz {
-                        for &policy in &self.policies {
-                            out.push(CellSpec {
-                                fleet,
-                                static_power_scale: scale,
-                                policy,
-                                server,
-                                qos_floor_mhz: floor,
-                            });
+                        for &backend in &self.backends {
+                            for &policy in &self.policies {
+                                out.push(CellSpec {
+                                    fleet,
+                                    static_power_scale: scale,
+                                    policy,
+                                    server,
+                                    qos_floor_mhz: floor,
+                                    backend,
+                                });
+                            }
                         }
                     }
                 }
@@ -281,13 +291,16 @@ impl ExperimentSpec {
     }
 }
 
-/// Shared label formatting for a (policy, server, floor, scale)
-/// configuration — the part of a cell's identity every fleet shares.
+/// Shared label formatting for a (policy, server, floor, scale,
+/// backend) configuration — the part of a cell's identity every fleet
+/// shares. The default analytic backend is elided so legacy labels
+/// stay unchanged.
 fn config_label(
     policy: PolicySpec,
     server: ServerSpec,
     qos_floor_mhz: Option<f64>,
     static_power_scale: f64,
+    backend: BackendSpec,
     ablation: AblationFlags,
 ) -> String {
     let policy = policy.build(ablation);
@@ -297,6 +310,10 @@ fn config_label(
     };
     if static_power_scale != 1.0 {
         label.push_str(&format!("/sp{static_power_scale:.2}"));
+    }
+    if backend != BackendSpec::Analytic {
+        label.push('/');
+        label.push_str(backend.label());
     }
     label
 }
@@ -317,19 +334,23 @@ pub struct CellSpec {
     pub server: ServerSpec,
     /// Optional QoS frequency floor in MHz.
     pub qos_floor_mhz: Option<f64>,
+    /// The accounting backend pricing this cell's governed slots.
+    pub backend: BackendSpec,
 }
 
 impl CellSpec {
     /// Human-readable cell label, e.g. `EPACT/NTC`,
-    /// `COAT/conv@1800MHz` or `EPACT/NTC/sp0.50` for a scaled arm.
-    /// The fleet is not part of the label — print its seed separately
-    /// when a sweep spans several.
+    /// `COAT/conv@1800MHz`, `EPACT/NTC/sp0.50` for a scaled arm or
+    /// `EPACT/NTC/archsim` for a non-default backend. The fleet is not
+    /// part of the label — print its seed separately when a sweep
+    /// spans several.
     pub fn label(&self, ablation: AblationFlags) -> String {
         config_label(
             self.policy,
             self.server,
             self.qos_floor_mhz,
             self.static_power_scale,
+            self.backend,
             ablation,
         )
     }
@@ -391,15 +412,15 @@ impl SweepResult {
     }
 
     /// Aggregates the cells over the fleet axis: every (policy, server,
-    /// QoS floor, static-power scale) configuration becomes one group
-    /// with mean and sample standard deviation of its headline metrics
-    /// across the fleets (seeds) that ran it. Groups appear in first
-    /// spec-order occurrence, so a single-fleet sweep degenerates to
-    /// one group per cell with zero spread.
+    /// QoS floor, static-power scale, backend) configuration becomes
+    /// one group with mean and sample standard deviation of its
+    /// headline metrics across the fleets (seeds) that ran it. Groups
+    /// appear in first spec-order occurrence, so a single-fleet sweep
+    /// degenerates to one group per cell with zero spread.
     pub fn seed_groups(&self) -> Vec<GroupOutcome> {
         // f64 axes are compared by bit pattern: all values of one group
         // originate from the same spec literal, so bits match exactly.
-        type Key = (PolicySpec, ServerSpec, Option<u64>, u64);
+        type Key = (PolicySpec, ServerSpec, Option<u64>, u64, BackendSpec);
         let mut keys: Vec<Key> = Vec::new();
         let mut buckets: Vec<Vec<&CellOutcome>> = Vec::new();
         for cell in &self.cells {
@@ -408,6 +429,7 @@ impl SweepResult {
                 cell.cell.server,
                 cell.cell.qos_floor_mhz.map(f64::to_bits),
                 cell.cell.static_power_scale.to_bits(),
+                cell.cell.backend,
             );
             match keys.iter().position(|k| *k == key) {
                 Some(i) => buckets[i].push(cell),
@@ -429,6 +451,7 @@ impl SweepResult {
                     server: first.server,
                     qos_floor_mhz: first.qos_floor_mhz,
                     static_power_scale: first.static_power_scale,
+                    backend: first.backend,
                     runs: cells.len(),
                     energy_mj: stat(&|o| o.total_energy().as_megajoules()),
                     violations: stat(&|o| o.total_violations() as f64),
@@ -453,6 +476,8 @@ pub struct GroupOutcome {
     pub qos_floor_mhz: Option<f64>,
     /// Motherboard static-power scale of this group.
     pub static_power_scale: f64,
+    /// The accounting backend of this group.
+    pub backend: BackendSpec,
     /// Fleets (seeds/sizes) aggregated into this group.
     pub runs: usize,
     /// Total energy over the horizon, megajoules.
@@ -473,6 +498,7 @@ impl GroupOutcome {
             self.server,
             self.qos_floor_mhz,
             self.static_power_scale,
+            self.backend,
             ablation,
         )
     }
@@ -564,6 +590,7 @@ impl Engine {
     /// hatch. (The per-run day-moment cache inside [`WeekSim`] is a
     /// separate knob and stays on here regardless, keeping the two
     /// engine modes on one numerical path.)
+    #[must_use]
     pub fn caching(mut self, enabled: bool) -> Self {
         self.caching = enabled;
         self
@@ -686,7 +713,8 @@ fn run_cell(
 ) -> CellOutcome {
     let started = Instant::now();
     let fleet = caches.fleet.get(&cell.fleet);
-    let mut builder = WeekSim::builder(&fleet, cell.server_model(), spec.max_servers);
+    let mut builder = WeekSim::builder(&fleet, cell.server_model(), spec.max_servers)
+        .backend(cell.backend.build(cell.server));
     if let Some(mhz) = cell.qos_floor_mhz {
         builder = builder.qos_floor(Frequency::from_mhz(mhz));
     }
@@ -857,6 +885,34 @@ mod tests {
             assert_eq!(plain.cell.policy, floored.cell.policy);
             assert!(floored.outcome.total_energy() >= plain.outcome.total_energy());
         }
+    }
+
+    #[test]
+    fn backend_axis_multiplies_cells_and_dedups_plans() {
+        let mut spec = tiny_spec();
+        spec.policies = vec![PolicySpec::Epact];
+        spec.backends = vec![BackendSpec::Analytic, BackendSpec::Archsim];
+        let sweep = Engine::with_threads(2).run(&spec).unwrap();
+        assert_eq!(sweep.cells.len(), 2);
+        assert_eq!(sweep.cells[0].cell.backend, BackendSpec::Analytic);
+        assert_eq!(sweep.cells[1].cell.backend, BackendSpec::Archsim);
+        // The upstream stages are backend-independent: same plans,
+        // same migrations and server counts; only pricing differs.
+        let (a, b) = (&sweep.cells[0].outcome, &sweep.cells[1].outcome);
+        assert_eq!(a.total_migrations(), b.total_migrations());
+        assert_eq!(a.mean_active_servers(), b.mean_active_servers());
+        let groups = sweep.seed_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].backend, BackendSpec::Analytic);
+        assert_eq!(groups[1].backend, BackendSpec::Archsim);
+        assert!(groups[1].label(spec.ablation).ends_with("/archsim"));
+        assert!(!groups[0].label(spec.ablation).contains("analytic"));
+        // Cross-backend plan dedup is sound (empty backend
+        // fingerprints): EPACT's 168 slots are planned once and hit by
+        // the sibling cell, whichever worker wins each race.
+        let totals = sweep.cache_totals();
+        assert_eq!(totals.plan_misses, 168);
+        assert_eq!(totals.plan_hits, 168);
     }
 
     #[test]

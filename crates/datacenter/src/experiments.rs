@@ -5,14 +5,14 @@
 //! layout). See EXPERIMENTS.md at the workspace root for the
 //! paper-vs-measured record.
 
-use ntc_archsim::qos::QosBaseline;
-use ntc_archsim::{efficiency, Kernel, Platform, ServerSim};
+use ntc_archsim::{efficiency, Kernel, Platform};
 use ntc_core::{Coat, CoatOpt, Epact};
 use ntc_forecast::ArimaPredictor;
 use ntc_power::{DataCenterPowerModel, ServerPowerModel};
 use ntc_units::{Frequency, Percent, Power};
 use ntc_workload::Fleet;
 
+use crate::backend::{ArchsimBackend, BackendSpec};
 use crate::engine::{
     AblationFlags, Engine, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
 };
@@ -35,25 +35,24 @@ pub struct Table1Row {
 }
 
 /// Regenerates Table I by simulating the three workload classes on all
-/// three platforms.
+/// three platforms (each through its [`ArchsimBackend`]).
 pub fn table1() -> Vec<Table1Row> {
-    let x86 = ServerSim::new(Platform::xeon_x5650());
-    let cavium = ServerSim::new(Platform::thunderx());
-    let ntc = ServerSim::new(Platform::ntc_server());
+    let x86 = ArchsimBackend::x86_baseline();
+    let cavium = ArchsimBackend::new(Platform::thunderx());
+    let ntc = ArchsimBackend::ntc();
     let two = Frequency::from_ghz(2.0);
     Kernel::paper_classes()
         .into_iter()
         .map(|k| {
             let x86_secs = x86
-                .run(&k, Platform::xeon_x5650().nominal_freq)
-                .exec_time
+                .exec_time(&k, Platform::xeon_x5650().nominal_freq)
                 .as_secs();
             Table1Row {
                 workload: k.name().to_string(),
                 x86_secs,
                 qos_limit_secs: 2.0 * x86_secs,
-                cavium_secs: cavium.run(&k, two).exec_time.as_secs(),
-                ntc_secs: ntc.run(&k, two).exec_time.as_secs(),
+                cavium_secs: cavium.exec_time(&k, two).as_secs(),
+                ntc_secs: ntc.exec_time(&k, two).as_secs(),
             }
         })
         .collect()
@@ -109,15 +108,14 @@ pub fn fig2_frequencies() -> Vec<Frequency> {
 /// Regenerates Fig. 2 on the NTC server against the paper's published
 /// x86 baseline.
 pub fn fig2() -> Vec<Fig2Series> {
-    let sim = ServerSim::new(Platform::ntc_server());
-    let baseline = QosBaseline::paper_table1();
+    let backend = ArchsimBackend::ntc();
     Kernel::paper_classes()
         .into_iter()
         .map(|k| Fig2Series {
             workload: k.name().to_string(),
             points: fig2_frequencies()
                 .into_iter()
-                .map(|f| (f, baseline.normalized_time(&sim, &k, f)))
+                .map(|f| (f, backend.normalized_time(&k, f)))
                 .collect(),
         })
         .collect()
@@ -134,13 +132,13 @@ pub struct Fig3Series {
 
 /// Regenerates Fig. 3: NTC-server efficiency across DVFS levels.
 pub fn fig3() -> Vec<Fig3Series> {
-    let sim = ServerSim::new(Platform::ntc_server());
+    let backend = ArchsimBackend::ntc();
     let model = ServerPowerModel::ntc();
     Kernel::paper_classes()
         .into_iter()
         .map(|k| Fig3Series {
             workload: k.name().to_string(),
-            points: efficiency::efficiency_curve(&sim, &model, &k, &fig2_frequencies()),
+            points: efficiency::efficiency_curve(backend.sim(), &model, &k, &fig2_frequencies()),
         })
         .collect()
 }
@@ -208,6 +206,7 @@ pub fn fig7(fleet: FleetSpec, max_servers: usize, static_watts: &[f64]) -> Vec<F
         static_power_scales: static_watts.iter().map(|&w| w / baseline).collect(),
         servers: vec![ServerSpec::Ntc],
         qos_floors_mhz: vec![None],
+        backends: vec![BackendSpec::Analytic],
         policies: vec![PolicySpec::Epact, PolicySpec::Coat],
         predictor: PredictorSpec::Oracle,
         max_servers,

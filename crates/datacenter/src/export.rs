@@ -155,8 +155,9 @@ fn week_value(outcome: &WeekOutcome) -> Value {
 
 /// Renders a completed sweep as JSON: a `cells` array carrying each
 /// cell's full identity (fleet, static-power scale, policy, server, QoS
-/// floor) with its headline metrics, and a `groups` array with the
-/// seed-averaged mean±std rows from [`SweepResult::seed_groups`].
+/// floor, accounting backend) with its headline metrics, and a `groups`
+/// array with the seed-averaged mean±std rows from
+/// [`SweepResult::seed_groups`].
 pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
     let cells = sweep
         .cells
@@ -181,6 +182,7 @@ pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
                     "static_power_scale".into(),
                     Value::Number(spec.static_power_scale),
                 ),
+                ("backend".into(), Value::String(spec.backend.label().into())),
                 ("num_vms".into(), Value::Number(spec.fleet.num_vms as f64)),
                 ("seed".into(), Value::Number(spec.fleet.seed as f64)),
                 ("weeks".into(), Value::Number(spec.fleet.weeks as f64)),
@@ -225,6 +227,7 @@ pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
                     "static_power_scale".into(),
                     Value::Number(g.static_power_scale),
                 ),
+                ("backend".into(), Value::String(g.backend.label().into())),
                 ("runs".into(), Value::Number(g.runs as f64)),
                 ("energy_mj".into(), stat(g.energy_mj)),
                 ("violations".into(), stat(g.violations)),
@@ -353,6 +356,18 @@ mod tests {
         };
         assert_eq!(seed_of(&cells[0]), 1);
         assert_eq!(seed_of(&cells[1]), 2);
+        let backend_of = |cell: &Value| {
+            let fields = cell.as_object("cell").unwrap();
+            fields
+                .iter()
+                .find(|(k, _)| k == "backend")
+                .unwrap()
+                .1
+                .as_string("backend")
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(backend_of(&cells[0]), "analytic");
         let groups = field("groups").as_array("groups").unwrap();
         assert_eq!(groups.len(), 1);
         let group = groups[0].as_object("group").unwrap();

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend;
 mod cache;
 mod engine;
 pub mod experiments;
@@ -35,6 +36,9 @@ mod outcome;
 pub mod spec_json;
 mod weeksim;
 
+pub use backend::{
+    AnalyticBackend, ArchsimBackend, BackendSpec, GovernedSlot, SlotAccounts, SlotBackend,
+};
 pub use cache::CacheStats;
 pub use engine::{
     AblationFlags, CellOutcome, CellSpec, Engine, ExperimentSpec, FleetSpec, GroupOutcome,

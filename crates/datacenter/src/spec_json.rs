@@ -13,6 +13,7 @@
 //! assert_eq!(spec_json::from_json(&text).unwrap(), spec);
 //! ```
 
+use crate::backend::BackendSpec;
 use crate::engine::{
     AblationFlags, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
 };
@@ -43,6 +44,11 @@ pub fn to_json(spec: &ExperimentSpec) -> String {
         .iter()
         .map(|&s| Value::Number(s))
         .collect();
+    let backends = spec
+        .backends
+        .iter()
+        .map(|&b| Value::String(b.label().to_string()))
+        .collect();
     Value::Object(vec![
         ("name".into(), Value::String(spec.name.clone())),
         ("fleets".into(), Value::Array(fleets)),
@@ -50,6 +56,7 @@ pub fn to_json(spec: &ExperimentSpec) -> String {
         ("servers".into(), Value::Array(servers)),
         ("qos_floors_mhz".into(), Value::Array(floors)),
         ("static_power_scales".into(), Value::Array(scales)),
+        ("backends".into(), Value::Array(backends)),
         (
             "predictor".into(),
             Value::String(predictor_tag(spec.predictor).to_string()),
@@ -93,7 +100,9 @@ fn parse_fleet(val: &Value, path: &str) -> Result<FleetSpec, String> {
 /// Unknown fields are rejected, missing fields report their path. A
 /// legacy single-fleet spec (`"fleet": {...}` instead of the
 /// `"fleets": [...]` axis, no `static_power_scales`) parses into the
-/// equivalent one-fleet, scale-1.0 sweep.
+/// equivalent one-fleet, scale-1.0 sweep, and a spec without a
+/// `backends` array (or with an empty one) defaults to the analytic
+/// backend.
 ///
 /// # Errors
 ///
@@ -109,6 +118,7 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
         policies: Vec::new(),
         servers: Vec::new(),
         qos_floors_mhz: Vec::new(),
+        backends: Vec::new(),
         predictor: PredictorSpec::Oracle,
         max_servers: 0,
         ablation: AblationFlags::default(),
@@ -156,6 +166,12 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
                         .push(item.as_f64(&format!("static_power_scales[{i}]"))?);
                 }
             }
+            "backends" => {
+                for (i, item) in val.as_array("backends")?.iter().enumerate() {
+                    let tag = item.as_string(&format!("backends[{i}]"))?;
+                    spec.backends.push(parse_backend(tag)?);
+                }
+            }
             "predictor" => spec.predictor = parse_predictor(val.as_string("predictor")?)?,
             "max_servers" => spec.max_servers = val.as_usize("max_servers")?,
             "correlation_only" => {
@@ -176,7 +192,15 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
     if spec.static_power_scales.is_empty() {
         spec.static_power_scales.push(1.0);
     }
+    if spec.backends.is_empty() {
+        // Legacy specs predate the backend axis: analytic accounting.
+        spec.backends.push(BackendSpec::Analytic);
+    }
     Ok(spec)
+}
+
+fn parse_backend(tag: &str) -> Result<BackendSpec, String> {
+    tag.parse()
 }
 
 pub(crate) fn policy_tag(p: PolicySpec) -> &'static str {
@@ -635,6 +659,17 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_the_backend_axis() {
+        let mut spec = ExperimentSpec::default_sweep();
+        spec.backends = vec![BackendSpec::Analytic, BackendSpec::Archsim];
+        let text = to_json(&spec);
+        assert!(text.contains("\"backends\""), "{text}");
+        assert_eq!(from_json(&text).unwrap(), spec);
+        spec.backends = vec![BackendSpec::Archsim];
+        assert_eq!(from_json(&to_json(&spec)).unwrap(), spec);
+    }
+
+    #[test]
     fn legacy_single_fleet_spec_still_parses() {
         // The exact shape PR 1's to_json emitted: "fleet" object, no
         // fleets/static_power_scales arrays.
@@ -654,6 +689,22 @@ mod tests {
         assert_eq!(spec, ExperimentSpec::default_sweep());
         assert_eq!(spec.fleets.len(), 1);
         assert_eq!(spec.static_power_scales, vec![1.0]);
+        // No "backends" field in legacy JSON: analytic accounting.
+        assert_eq!(spec.backends, vec![BackendSpec::Analytic]);
+    }
+
+    #[test]
+    fn empty_backend_list_defaults_to_analytic() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "backends": []}"#;
+        let spec = from_json(text).unwrap();
+        assert_eq!(spec.backends, vec![BackendSpec::Analytic]);
+    }
+
+    #[test]
+    fn rejects_unknown_backend() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "backends": ["gem5"]}"#;
+        let err = from_json(text).unwrap_err();
+        assert!(err.contains("gem5"), "{err}");
     }
 
     #[test]

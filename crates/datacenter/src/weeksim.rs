@@ -1,16 +1,23 @@
+use std::ops::Range;
 use std::sync::Arc;
 
 use ntc_core::{AllocationPolicy, DvfsGovernor, SlotContext, SlotPlan};
 use ntc_forecast::Predictor;
 use ntc_power::ServerPowerModel;
 use ntc_trace::{DayCache, TimeSeries};
-use ntc_units::{Energy, Frequency, Percent, Power, Seconds};
-use ntc_workload::Fleet;
+use ntc_units::Frequency;
+use ntc_workload::{Fleet, MemClass};
 
+use crate::backend::{mem_class_rank, AnalyticBackend, GovernedSlot, SlotBackend};
 use crate::cache::{CacheStats, DayForecast, RunCaches};
 use crate::{SlotOutcome, WeekOutcome};
 
-/// Drives an allocation policy over the evaluation week.
+/// Drives an allocation policy over the evaluation week through the
+/// staged slot pipeline: **forecast** (day-ahead predictions) →
+/// **plan** (the policy packs VMs and fixes the DVFS band) →
+/// **govern** (the online governor settles one operating point per
+/// active server-sample) → **account** (the configured
+/// [`SlotBackend`] prices those points into energy and violations).
 ///
 /// The fleet must carry at least two weeks of traces: everything before
 /// the final week is treated as predictor training history (the paper
@@ -24,6 +31,7 @@ pub struct WeekSim<'a> {
     eval_start: usize,
     qos_floor: Option<Frequency>,
     day_cache: bool,
+    backend: Box<dyn SlotBackend>,
 }
 
 /// Lazily built day-level planning state of one run: the current day's
@@ -45,6 +53,24 @@ impl DayState {
             moments_day: None,
         }
     }
+
+    /// The shared day-boundary refresh: rebuilds `cache` via `build`
+    /// only when it does not already describe `day`. Both the forecast
+    /// and the moment caches roll forward through this one helper, so
+    /// the two stages cannot drift apart in their staleness rules.
+    fn refresh<T>(
+        cache: &mut Option<T>,
+        cached_day: &mut Option<usize>,
+        day: usize,
+        build: impl FnOnce() -> T,
+    ) -> bool {
+        if *cached_day == Some(day) {
+            return false;
+        }
+        *cache = Some(build());
+        *cached_day = Some(day);
+        true
+    }
 }
 
 /// Builder for [`WeekSim`], collecting the optional knobs (currently the
@@ -60,6 +86,7 @@ pub struct WeekSimBuilder<'a> {
     max_servers: usize,
     qos_floor: Option<Frequency>,
     day_cache: bool,
+    backend: Option<Box<dyn SlotBackend>>,
 }
 
 impl<'a> WeekSimBuilder<'a> {
@@ -73,8 +100,19 @@ impl<'a> WeekSimBuilder<'a> {
     /// here. The default (no floor) models pure demand-proportional
     /// DVFS, where a VM's utilization share already reflects its batch
     /// progress.
+    #[must_use]
     pub fn qos_floor(mut self, floor: Frequency) -> Self {
         self.qos_floor = Some(floor);
+        self
+    }
+
+    /// Swaps the accounting backend of the pipeline's account stage
+    /// (default: [`AnalyticBackend`]). The forecast, plan and govern
+    /// stages are backend-independent — see the conservation contract
+    /// in [`crate::backend`].
+    #[must_use]
+    pub fn backend(mut self, backend: Box<dyn SlotBackend>) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -92,6 +130,7 @@ impl<'a> WeekSimBuilder<'a> {
     /// but not guaranteed bit-equal across this knob. `false` exists
     /// for benchmarking the rebuild cost and as an escape hatch; both
     /// settings are individually deterministic.
+    #[must_use]
     pub fn day_moment_cache(mut self, enabled: bool) -> Self {
         self.day_cache = enabled;
         self
@@ -123,6 +162,7 @@ impl<'a> WeekSimBuilder<'a> {
             eval_start: have - week,
             qos_floor: self.qos_floor,
             day_cache: self.day_cache,
+            backend: self.backend.unwrap_or_else(|| Box::new(AnalyticBackend)),
         })
     }
 
@@ -157,6 +197,7 @@ impl<'a> WeekSim<'a> {
             max_servers,
             qos_floor: None,
             day_cache: true,
+            backend: None,
         }
     }
 
@@ -253,12 +294,15 @@ impl<'a> WeekSim<'a> {
         let mut per_server_cpu: Vec<TimeSeries> = Vec::new();
         let mut per_server_mem: Vec<TimeSeries> = Vec::new();
         let mut occupancy: Vec<bool> = Vec::new();
+        let mut dominant_class: Vec<MemClass> = Vec::new();
+        let mut governed = GovernedSlot::new();
 
         let mut outcomes = Vec::with_capacity(slots);
         for slot in 0..slots {
             let start = self.eval_start + slot * sps;
             let range = start..start + sps;
 
+            // Stage 1+2 — forecast & plan, refreshed at period starts.
             if slot % period == 0 {
                 // Shared-plan fast path first: a hit skips forecasting,
                 // moment building and packing for the whole period.
@@ -297,6 +341,19 @@ impl<'a> WeekSim<'a> {
                     Some(prev) => ntc_core::migration_count(prev, &new_plan),
                     None => 0,
                 };
+                // Occupancy and per-server worst-case classes are pure
+                // functions of the plan: derive them once per period.
+                occupancy.clear();
+                occupancy.resize(new_plan.num_servers(), false);
+                dominant_class.clear();
+                dominant_class.resize(new_plan.num_servers(), MemClass::Low);
+                for (vm, &srv) in new_plan.assignments().iter().enumerate() {
+                    occupancy[srv] = true;
+                    let class = self.fleet.vms()[vm].class;
+                    if mem_class_rank(class) > mem_class_rank(dominant_class[srv]) {
+                        dominant_class[srv] = class;
+                    }
+                }
                 current_plan = Some(new_plan);
             } else {
                 migrations_this_slot = 0;
@@ -313,52 +370,36 @@ impl<'a> WeekSim<'a> {
             }
             plan.aggregate_per_server_into(&actual_cpu, &mut per_server_cpu);
             plan.aggregate_per_server_into(&actual_mem, &mut per_server_mem);
-            occupancy.clear();
-            occupancy.extend(plan.vms_per_server().iter().map(|vms| !vms.is_empty()));
 
-            let mut violations = 0usize;
-            let mut energy = Energy::ZERO;
-            let mut freq_sum_mhz = 0.0;
-            let mut freq_count = 0usize;
-            let sample_period: Seconds = grid.sample_period();
-
+            // Stage 3 — govern: settle every active server-sample's
+            // operating point in server-major, sample-minor order.
+            governed.reset(grid.sample_period(), sps);
             for (srv, active) in occupancy.iter().enumerate() {
                 if !active {
                     continue; // turned off, draws nothing
                 }
+                governed.push_server(dominant_class[srv]);
                 for k in 0..sps {
-                    let demand_cpu = per_server_cpu[srv].at(k);
-                    let demand_mem = per_server_mem[srv].at(k);
-                    let ceiling = plan.dvfs_ceiling();
-                    if governor.is_violated(demand_cpu, ceiling) || demand_mem > 100.0 + 1e-9 {
-                        violations += 1;
-                    }
-                    let mut f = governor
-                        .level_for_demand(demand_cpu.min(100.0), ceiling)
-                        .max(plan.dvfs_floor());
-                    if let Some(floor) = self.qos_floor {
-                        f = f.max(floor.min(ceiling));
-                    }
-                    let util = governor.utilization_at(demand_cpu.min(100.0), f);
-                    let mem_util = Percent::new(demand_mem.min(100.0));
-                    let p: Power = self.server.power(f, util, mem_util);
-                    energy += p * sample_period;
-                    freq_sum_mhz += f.as_mhz();
-                    freq_count += 1;
+                    governed.push_sample(governor.govern_sample(
+                        per_server_cpu[srv].at(k),
+                        per_server_mem[srv].at(k),
+                        plan.dvfs_ceiling(),
+                        plan.dvfs_floor(),
+                        self.qos_floor,
+                    ));
                 }
             }
 
+            // Stage 4 — account: the backend prices the governed slot.
+            let accounts = self.backend.account(&self.server, &governed);
+
             outcomes.push(SlotOutcome {
-                violations,
-                active_servers: occupancy.iter().filter(|&&a| a).count(),
+                violations: accounts.violations,
+                active_servers: governed.num_servers(),
                 migrations: migrations_this_slot,
-                energy,
+                energy: accounts.energy,
                 planned_freq: plan.planned_freq(),
-                mean_freq: if freq_count == 0 {
-                    Frequency::ZERO
-                } else {
-                    Frequency::from_mhz(freq_sum_mhz / freq_count as f64)
-                },
+                mean_freq: accounts.mean_freq(),
             });
         }
 
@@ -398,11 +439,12 @@ impl<'a> WeekSim<'a> {
         let offset = (slot % slots_per_day) * sps;
 
         // Refresh the day-ahead forecast lazily: only planning days are
-        // forecast, and a day whose plans all hit is never forecast.
+        // forecast, and a day whose plans all hit is never forecast. A
+        // new forecast invalidates the moment caches built from it.
         if let Some(p) = predictor {
-            if state.forecast_day != Some(day) {
-                state.forecast = Some(self.day_forecast(p, day, caches, stats));
-                state.forecast_day = Some(day);
+            if DayState::refresh(&mut state.forecast, &mut state.forecast_day, day, || {
+                self.day_forecast(p, day, caches, stats)
+            }) {
                 state.moments = None;
                 state.moments_day = None;
             }
@@ -410,36 +452,27 @@ impl<'a> WeekSim<'a> {
 
         // Day-level moment caches: one prefix-sum build per day serves
         // every re-plan of that day with O(1) windowed covariances.
-        if self.day_cache && state.moments_day != Some(day) {
+        if self.day_cache {
             let day_start = self.eval_start + day * per_day;
+            let forecast = &state.forecast;
+            let fleet = self.fleet;
             // Every plan window is aligned to the slot grid, so the
             // caches keep slot-major block planes of pair products.
-            let moments = match (&state.forecast, predictor) {
-                (Some(fc), Some(_)) => (
-                    DayCache::with_block_size(&fc.cpu, sps),
-                    DayCache::with_block_size(&fc.mem, sps),
-                ),
-                _ => {
-                    let cpu: Vec<TimeSeries> = self
-                        .fleet
-                        .vms()
-                        .iter()
-                        .map(|v| v.cpu.window(day_start..day_start + per_day))
-                        .collect();
-                    let mem: Vec<TimeSeries> = self
-                        .fleet
-                        .vms()
-                        .iter()
-                        .map(|v| v.mem.window(day_start..day_start + per_day))
-                        .collect();
-                    (
-                        DayCache::with_block_size(&cpu, sps),
-                        DayCache::with_block_size(&mem, sps),
-                    )
+            DayState::refresh(&mut state.moments, &mut state.moments_day, day, || {
+                match (forecast, predictor) {
+                    (Some(fc), Some(_)) => (
+                        DayCache::with_block_size(&fc.cpu, sps),
+                        DayCache::with_block_size(&fc.mem, sps),
+                    ),
+                    _ => {
+                        let (cpu, mem) = actual_windows(fleet, day_start..day_start + per_day);
+                        (
+                            DayCache::with_block_size(&cpu, sps),
+                            DayCache::with_block_size(&mem, sps),
+                        )
+                    }
                 }
-            };
-            state.moments = Some(moments);
-            state.moments_day = Some(day);
+            });
         }
 
         let (pred_cpu, pred_mem): (Vec<TimeSeries>, Vec<TimeSeries>) = match &state.forecast {
@@ -453,18 +486,7 @@ impl<'a> WeekSim<'a> {
                     .map(|s| s.window(offset..offset + window_len))
                     .collect(),
             ),
-            _ => (
-                self.fleet
-                    .vms()
-                    .iter()
-                    .map(|v| v.cpu.window(start..start + window_len))
-                    .collect(),
-                self.fleet
-                    .vms()
-                    .iter()
-                    .map(|v| v.mem.window(start..start + window_len))
-                    .collect(),
-            ),
+            _ => actual_windows(self.fleet, start..start + window_len),
         };
         let mut ctx = SlotContext::new(&pred_cpu, &pred_mem, &self.server, self.max_servers);
         if let Some((dc_cpu, dc_mem)) = &state.moments {
@@ -531,10 +553,29 @@ impl<'a> WeekSim<'a> {
     }
 }
 
+/// Per-VM CPU and memory windows of the actual traces over `range` —
+/// the shared series cut both the moment build (oracle arm) and the
+/// oracle prediction windows draw from.
+fn actual_windows(fleet: &Fleet, range: Range<usize>) -> (Vec<TimeSeries>, Vec<TimeSeries>) {
+    (
+        fleet
+            .vms()
+            .iter()
+            .map(|v| v.cpu.window(range.clone()))
+            .collect(),
+        fleet
+            .vms()
+            .iter()
+            .map(|v| v.mem.window(range.clone()))
+            .collect(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use ntc_core::{Coat, CoatOpt, Epact};
+    use ntc_units::Energy;
     use ntc_workload::ClusterTraceGenerator;
 
     fn small_fleet() -> Fleet {
@@ -627,6 +668,31 @@ mod tests {
             .sum::<f64>()
             / e_floor.slots.len() as f64;
         assert!(mean_f >= 1800.0 - 1e-6, "mean frequency {mean_f} MHz");
+    }
+
+    #[test]
+    fn archsim_backend_shares_the_upstream_stages() {
+        // Swapping the account stage must leave forecast/plan/govern
+        // untouched: allocation churn and server counts are identical,
+        // only pricing (energy, QoS-aware violations) may differ.
+        let fleet = small_fleet();
+        let analytic = WeekSim::new(&fleet, ServerPowerModel::ntc(), 600);
+        let archsim = WeekSim::builder(&fleet, ServerPowerModel::ntc(), 600)
+            .backend(Box::new(crate::backend::ArchsimBackend::ntc()))
+            .build_or_panic();
+        let a = analytic.run_with_oracle(&Epact::new());
+        let b = archsim.run_with_oracle(&Epact::new());
+        assert_eq!(a.total_migrations(), b.total_migrations());
+        assert_eq!(a.mean_active_servers(), b.mean_active_servers());
+        assert!(
+            b.total_violations() >= a.total_violations(),
+            "archsim only adds QoS misses on top of demand violations"
+        );
+        assert!(b.total_energy() > Energy::ZERO);
+        for (sa, sb) in a.slots.iter().zip(&b.slots) {
+            assert_eq!(sa.planned_freq, sb.planned_freq);
+            assert_eq!(sa.mean_freq, sb.mean_freq, "govern stage is shared");
+        }
     }
 
     #[test]

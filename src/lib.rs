@@ -70,9 +70,35 @@
 //! println!("energy: {} MJ", groups[0].energy_mj); // "123.4±5.6"
 //! ```
 //!
+//! The *accounting backend* is an axis too: every cell's slot pipeline
+//! runs forecast → plan → govern identically, then prices the governed
+//! operating points either through the analytic §IV power model (the
+//! default) or through the [`archsim`] interval simulator with
+//! Table-I-style QoS degradation checks — `ntcdc sweep --backends
+//! analytic,archsim` sweeps both through one engine:
+//!
+//! ```
+//! use ntc_dc::datacenter::{BackendSpec, Engine, ExperimentSpec, PolicySpec, ServerSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep();
+//! spec.fleets[0].num_vms = 10; // doctest-sized
+//! spec.policies = vec![PolicySpec::Epact];
+//! spec.servers = vec![ServerSpec::Ntc];
+//! spec.backends = vec![BackendSpec::Analytic, BackendSpec::Archsim];
+//! spec.max_servers = 100;
+//! let sweep = Engine::new().run(&spec).unwrap();
+//! assert_eq!(sweep.cells.len(), 2); // one cell per backend
+//! // Backends share the plan stage bit for bit; only pricing differs.
+//! assert_eq!(
+//!     sweep.cells[0].outcome.total_migrations(),
+//!     sweep.cells[1].outcome.total_migrations(),
+//! );
+//! ```
+//!
 //! Specs serialize to JSON via
 //! [`datacenter::spec_json`] — the same file format `ntcdc sweep
-//! --spec` reads.
+//! --spec` reads (legacy specs without a `backends` array default to
+//! analytic accounting).
 //!
 //! The engine memoizes planning work across cells: fleets are generated
 //! once per seed, day-ahead forecasts are shared by every cell of a

@@ -2,7 +2,7 @@
 //! bit-identical however it is scheduled, and reproduce the paper's
 //! headline ordering (EPACT saves energy over COAT on NTC servers).
 
-use ntc_dc::datacenter::{Engine, ExperimentSpec, PolicySpec, ServerSpec};
+use ntc_dc::datacenter::{BackendSpec, Engine, ExperimentSpec, PolicySpec, ServerSpec};
 
 fn small_sweep() -> ExperimentSpec {
     let mut spec = ExperimentSpec::default_sweep();
@@ -94,6 +94,91 @@ fn cached_sweep_is_bit_identical_to_uncached() {
         (uncached_totals.plan_hits, uncached_totals.forecast_hits),
         (0, 0),
         "caching(false) must not share anything"
+    );
+}
+
+#[test]
+fn analytic_backend_is_bit_identical_to_pre_pipeline_weeksim() {
+    // Golden fingerprints captured from the monolithic WeekSim loop
+    // *before* it was decomposed into the forecast/plan/govern/account
+    // stages. The AnalyticBackend must reproduce every one of them bit
+    // for bit: 2 seeds x 2 static-power scales x {EPACT, COAT} on the
+    // NTC server with oracle predictions.
+    const GOLDEN: [(u64, usize, usize, u64); 8] = [
+        (0x418438efa23853a3, 0, 1084, 0x3ffa000000000000), // seed 11 scale 0.5 EPACT
+        (0x418db52266d22d60, 0, 0, 0x3ff0000000000000),    // seed 11 scale 0.5 COAT
+        (0x418722732ee2c65d, 0, 792, 0x3ff7249249249249),  // seed 11 scale 1.0 EPACT
+        (0x418fded866d22d60, 0, 0, 0x3ff0000000000000),    // seed 11 scale 1.0 COAT
+        (0x4184562eb41653dd, 0, 1154, 0x3ffa79e79e79e79e), // seed 12 scale 0.5 EPACT
+        (0x418d9d3b8e6f7df0, 0, 0, 0x3ff0000000000000),    // seed 12 scale 0.5 COAT
+        (0x4186d1cb5fdf9553, 0, 567, 0x3ff50c30c30c30c3),  // seed 12 scale 1.0 EPACT
+        (0x418fc6f18e6f7df1, 0, 0, 0x3ff0000000000000),    // seed 12 scale 1.0 COAT
+    ];
+    let mut spec = multi_axis_sweep();
+    spec.fleets.iter_mut().for_each(|f| f.num_vms = 24);
+    let sweep = Engine::new().run(&spec).expect("golden sweep");
+    assert_eq!(sweep.cells.len(), GOLDEN.len());
+    for (cell, &(energy, violations, migrations, servers)) in sweep.cells.iter().zip(&GOLDEN) {
+        let label = cell.cell.label(spec.ablation);
+        let seed = cell.cell.fleet.seed;
+        assert_eq!(
+            cell.outcome.total_energy().as_joules().to_bits(),
+            energy,
+            "energy drifted in {label} seed {seed}"
+        );
+        assert_eq!(cell.outcome.total_violations(), violations, "{label}");
+        assert_eq!(cell.outcome.total_migrations(), migrations, "{label}");
+        assert_eq!(
+            cell.outcome.mean_active_servers().to_bits(),
+            servers,
+            "mean servers drifted in {label} seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn cross_backend_sweep_shares_plans_and_groups_per_backend() {
+    // The acceptance shape: `--backends analytic,archsim --seeds 1,2`
+    // through one engine. Both backends share every upstream stage, so
+    // migrations and server counts agree arm for arm, the plan cache
+    // dedups across the backend axis, and seed averaging groups per
+    // backend.
+    let mut spec = ExperimentSpec::default_sweep().with_seeds(&[1, 2]);
+    spec.fleets.iter_mut().for_each(|f| f.num_vms = 24);
+    spec.servers = vec![ServerSpec::Ntc];
+    spec.policies = vec![PolicySpec::Epact];
+    spec.backends = vec![BackendSpec::Analytic, BackendSpec::Archsim];
+    spec.max_servers = 150;
+    let sweep = Engine::new().run(&spec).expect("cross-backend sweep");
+    assert_eq!(sweep.cells.len(), 4); // 2 seeds x 2 backends
+    for pair in sweep.cells.chunks_exact(2) {
+        let (analytic, archsim) = (&pair[0], &pair[1]);
+        assert_eq!(analytic.cell.backend, BackendSpec::Analytic);
+        assert_eq!(archsim.cell.backend, BackendSpec::Archsim);
+        assert_eq!(
+            analytic.outcome.total_migrations(),
+            archsim.outcome.total_migrations(),
+            "backends must share the plan stage"
+        );
+        assert_eq!(
+            analytic.outcome.mean_active_servers(),
+            archsim.outcome.mean_active_servers()
+        );
+        assert!(archsim.outcome.total_energy().as_joules() > 0.0);
+        assert!(archsim.outcome.total_violations() >= analytic.outcome.total_violations());
+    }
+    let groups = sweep.seed_groups();
+    assert_eq!(groups.len(), 2, "one seed-averaged group per backend");
+    assert!(groups.iter().all(|g| g.runs == 2));
+    assert!(groups[1].label(spec.ablation).ends_with("/archsim"));
+    // EPACT replans every slot; 2 seeds x 2 backends over 1 fleet per
+    // seed -> each plan group computed once (168 misses) and reused by
+    // the other backend arm (168 hits), per seed.
+    let totals = sweep.cache_totals();
+    assert_eq!(
+        (totals.plan_misses, totals.plan_hits),
+        (336, 336),
+        "cross-backend arms must share plan groups"
     );
 }
 

@@ -3,7 +3,7 @@
 //! round trip over randomized experiment specs.
 
 use ntc_dc::datacenter::{
-    spec_json, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
+    spec_json, BackendSpec, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
 };
 use ntc_dc::policy::{AllocationPolicy, Coat, CoatOpt, Epact, SlotContext};
 use ntc_dc::power::ServerPowerModel;
@@ -12,8 +12,8 @@ use ntc_dc::units::{Frequency, Percent};
 use proptest::prelude::*;
 
 /// A strategy over arbitrary multi-axis experiment specs: random fleet
-/// sets (sizes, seeds, horizons), static-power scales, QoS floors and
-/// axis subsets.
+/// sets (sizes, seeds, horizons), static-power scales, QoS floors,
+/// accounting-backend sets and axis subsets.
 fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
     let fleets = prop::collection::vec(
         (1usize..200, 0u64..10_000, 2usize..5).prop_map(|(num_vms, seed, weeks)| FleetSpec {
@@ -28,27 +28,41 @@ fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
         (0usize..2, 100.0f64..2500.0).prop_map(|(none, mhz)| (none == 0).then_some(mhz)),
         1..3,
     );
-    (fleets, scales, floors, 0usize..4, 1usize..1000, 0usize..2).prop_map(
-        |(fleets, static_power_scales, qos_floors_mhz, knobs, max_servers, corr)| {
-            let mut spec = ExperimentSpec::default_sweep();
-            spec.name = format!("prop-{knobs}-{max_servers}");
-            spec.fleets = fleets;
-            spec.static_power_scales = static_power_scales;
-            spec.qos_floors_mhz = qos_floors_mhz;
-            spec.max_servers = max_servers;
-            spec.ablation.correlation_only = corr == 1;
-            if knobs % 2 == 1 {
-                spec.policies.push(PolicySpec::LoadBalance);
-                spec.servers = vec![ServerSpec::Ntc];
-            }
-            spec.predictor = match knobs {
-                0 => PredictorSpec::Oracle,
-                1 => PredictorSpec::Arima,
-                _ => PredictorSpec::SeasonalNaive,
-            };
-            spec
-        },
+    let backends = (0usize..4).prop_map(|i| match i {
+        0 => vec![BackendSpec::Analytic],
+        1 => vec![BackendSpec::Archsim],
+        2 => vec![BackendSpec::Analytic, BackendSpec::Archsim],
+        _ => vec![BackendSpec::Archsim, BackendSpec::Analytic],
+    });
+    (
+        (fleets, scales, floors, backends),
+        (0usize..4, 1usize..1000, 0usize..2),
     )
+        .prop_map(
+            |(
+                (fleets, static_power_scales, qos_floors_mhz, backends),
+                (knobs, max_servers, corr),
+            )| {
+                let mut spec = ExperimentSpec::default_sweep();
+                spec.name = format!("prop-{knobs}-{max_servers}");
+                spec.fleets = fleets;
+                spec.static_power_scales = static_power_scales;
+                spec.qos_floors_mhz = qos_floors_mhz;
+                spec.backends = backends;
+                spec.max_servers = max_servers;
+                spec.ablation.correlation_only = corr == 1;
+                if knobs % 2 == 1 {
+                    spec.policies.push(PolicySpec::LoadBalance);
+                    spec.servers = vec![ServerSpec::Ntc];
+                }
+                spec.predictor = match knobs {
+                    0 => PredictorSpec::Oracle,
+                    1 => PredictorSpec::Arima,
+                    _ => PredictorSpec::SeasonalNaive,
+                };
+                spec
+            },
+        )
 }
 
 fn vm_series(n_vms: usize, len: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
@@ -147,8 +161,8 @@ proptest! {
     #[test]
     fn spec_json_round_trips_every_spec(spec in arb_spec()) {
         // The codec must preserve every axis exactly — fleet sets,
-        // static-power scales (f64-exact), QoS floors, predictor,
-        // ablation flags — through render + reparse.
+        // static-power scales (f64-exact), QoS floors, backend sets,
+        // predictor, ablation flags — through render + reparse.
         let text = spec_json::to_json(&spec);
         let back = match spec_json::from_json(&text) {
             Ok(back) => back,
