@@ -1,7 +1,8 @@
 //! Subcommand implementations for the `ntc-dc` binary.
 
 use ntc_datacenter::{
-    experiments, export, spec_json, BackendSpec, Engine, ExperimentSpec, FleetSpec, PredictorSpec,
+    experiments, export, spec_json, BackendSpec, Engine, ExperimentSpec, FailurePolicy, FleetSpec,
+    PredictorSpec, SweepResult,
 };
 use ntc_power::ServerPowerModel;
 use ntc_units::Percent;
@@ -32,8 +33,13 @@ where
         .ok_or_else(|| format!("{name} requires a comma-separated list"))?;
     raw.split(',')
         .map(|item| {
-            item.trim()
-                .parse::<T>()
+            let item = item.trim();
+            // Catch `1,2,` and `1,,2` here: an empty item would reach
+            // `parse` and report an opaque type-specific error.
+            if item.is_empty() {
+                return Err(format!("{name}: empty entry in list {raw:?}"));
+            }
+            item.parse::<T>()
                 .map_err(|e| format!("{name}: {item:?}: {e}"))
         })
         .collect::<Result<Vec<T>, String>>()
@@ -135,8 +141,12 @@ pub fn week(args: &[String]) -> Result<(), String> {
 
 /// `ntc-dc sweep [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]
 /// [--static-power-scales X,Y] [--backends analytic,archsim]
-/// [--threads N] [--arima] [--emit-spec] [--json] [--no-cache]
-/// [--cache-stats]`
+/// [--threads N] [--arima] [--fail-fast] [--emit-spec] [--json]
+/// [--no-cache] [--cache-stats]`
+///
+/// A sweep with failed cells prints (or, with `--json`, emits) the
+/// per-cell failures and returns an error, so the process exits
+/// non-zero while the completed cells' results are still reported.
 pub fn sweep(args: &[String]) -> Result<(), String> {
     let mut spec = match args.iter().position(|a| a == "--spec") {
         Some(i) => {
@@ -170,6 +180,9 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
     if flag(args, "--arima") {
         spec.predictor = PredictorSpec::Arima;
     }
+    if flag(args, "--fail-fast") {
+        spec.failure_policy = FailurePolicy::FailFast;
+    }
     if flag(args, "--emit-spec") {
         print!("{}", spec_json::to_json(&spec));
         return Ok(());
@@ -184,13 +197,14 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
 
     if flag(args, "--json") {
         print!("{}", export::sweep_json(&sweep, spec.ablation));
-        return Ok(());
+        return fail_summary(&sweep);
     }
 
     println!(
-        "sweep {:?}: {} cells on {} threads, {:.2}s wall",
+        "sweep {:?}: {} of {} cells on {} threads, {:.2}s wall",
         spec.name,
         sweep.cells.len(),
+        sweep.total_cells(),
         sweep.threads,
         sweep.wall.as_secs_f64()
     );
@@ -244,7 +258,44 @@ pub fn sweep(args: &[String]) -> Result<(), String> {
             serial / sweep.wall.as_secs_f64()
         );
     }
-    Ok(())
+    if !sweep.failed().is_empty() {
+        println!(
+            "\nfailed cells ({} of {}):",
+            sweep.failed().len(),
+            sweep.total_cells()
+        );
+        println!(
+            "{:<5} {:<24} {:>6} {:>9} {:>8}  error",
+            "cell", "label", "seed", "stage", "kind"
+        );
+        for f in sweep.failed() {
+            println!(
+                "{:<5} {:<24} {:>6} {:>9} {:>8}  {}",
+                f.index,
+                f.label,
+                f.cell.fleet.seed,
+                f.stage().map_or("-", |s| s.label()),
+                f.kind_label(),
+                f.message()
+            );
+        }
+    }
+    fail_summary(&sweep)
+}
+
+/// `Ok` for a complete sweep, `Err` (→ non-zero process exit) when any
+/// cell failed — after its results and failure table have already been
+/// printed.
+fn fail_summary(sweep: &SweepResult) -> Result<(), String> {
+    if sweep.is_complete() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} of {} cells failed",
+            sweep.failed().len(),
+            sweep.total_cells()
+        ))
+    }
 }
 
 /// `ntc-dc fig7 [--vms N] [--csv]`
@@ -353,6 +404,19 @@ mod tests {
         assert_eq!(opt_list::<u64>(&s(&[]), "--seeds").unwrap(), None);
         assert!(opt_list::<u64>(&s(&["--seeds"]), "--seeds").is_err());
         assert!(opt_list::<u64>(&s(&["--seeds", "1,x"]), "--seeds").is_err());
+    }
+
+    #[test]
+    fn list_parsing_rejects_empty_entries_clearly() {
+        // `1,2,` and `1,,2` used to flow into parse::<u64> and report
+        // an opaque "cannot parse integer from empty string".
+        for bad in ["1,2,", "1,,2", ",1,2", " , "] {
+            let err = opt_list::<u64>(&s(&["--seeds", bad]), "--seeds").unwrap_err();
+            assert!(
+                err.contains("empty entry") && err.contains("--seeds"),
+                "{bad:?} must report a clear error, got {err:?}"
+            );
+        }
     }
 
     #[test]

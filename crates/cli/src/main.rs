@@ -62,14 +62,17 @@ fn usage() -> &'static str {
      \x20 sweep  [--spec FILE] [--vms N] [--seed S] [--seeds A,B,C]\n\
      \x20        [--static-power-scales X,Y] [--max-servers N]\n\
      \x20        [--backends analytic,archsim] [--threads N] [--arima]\n\
-     \x20        [--emit-spec] [--json] [--no-cache] [--cache-stats]\n\
+     \x20        [--fail-fast] [--emit-spec] [--json] [--no-cache]\n\
+     \x20        [--cache-stats]\n\
      \x20                            parallel sweep over an ExperimentSpec;\n\
      \x20                            multiple seeds print mean±std groups;\n\
      \x20                            --backends sweeps the accounting\n\
      \x20                            backend (analytic power model vs the\n\
      \x20                            archsim interval simulator with QoS);\n\
      \x20                            --cache-stats prints plan/forecast\n\
-     \x20                            cache hit/miss totals\n\
+     \x20                            cache hit/miss totals; failed cells\n\
+     \x20                            are reported per cell and exit non-\n\
+     \x20                            zero (--fail-fast aborts the rest)\n\
      \x20 fig7   [--vms N] [--csv]   Fig. 7: static-power sweep\n\
      \x20 validate                   power-model constants vs the paper\n\
      \x20 fleet-stats [--vms N]      generated-workload statistics"

@@ -80,6 +80,22 @@ pub enum Error {
         /// The offending scale factor.
         scale: f64,
     },
+    /// An accounting backend could not be constructed for its server
+    /// platform (reported per cell by the experiment engine instead of
+    /// panicking mid-sweep).
+    BackendInit {
+        /// The backend's label (`"analytic"`, `"archsim"`).
+        backend: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// A fault deliberately injected into one sweep cell by the
+    /// engine's fault-injection instrument (testing only; never
+    /// produced by a production code path).
+    FaultInjected {
+        /// Spec-order index of the targeted cell.
+        cell: usize,
+    },
 }
 
 impl std::fmt::Display for Error {
@@ -144,6 +160,12 @@ impl std::fmt::Display for Error {
                 f,
                 "static-power scale must be finite and non-negative (got {scale})"
             ),
+            Self::BackendInit { backend, reason } => {
+                write!(f, "backend {backend} failed to initialize: {reason}")
+            }
+            Self::FaultInjected { cell } => {
+                write!(f, "injected fault in cell {cell}")
+            }
         }
     }
 }
@@ -229,6 +251,14 @@ mod tests {
                 Error::BadStaticPowerScale { scale: -1.0 },
                 "finite and non-negative",
             ),
+            (
+                Error::BackendInit {
+                    backend: "archsim".to_string(),
+                    reason: "missing kernel".to_string(),
+                },
+                "failed to initialize",
+            ),
+            (Error::FaultInjected { cell: 3 }, "injected fault in cell 3"),
         ];
         for (err, needle) in cases {
             let text = err.to_string();

@@ -13,6 +13,17 @@
 //! behind an `Arc`, however many cells share it and however the workers
 //! interleave.
 //!
+//! Cells are also *fault-isolated*: each one runs under
+//! [`std::panic::catch_unwind`], and a panicking or erroring cell
+//! becomes a structured [`CellError`] in
+//! [`SweepResult::failed`] instead of tearing down the sweep — every
+//! healthy cell's result is bit-identical to a clean run. The spec's
+//! [`FailurePolicy`] chooses between finishing the remaining cells
+//! (the default) and aborting them via a shared flag
+//! ([`FailurePolicy::FailFast`]); see the [`fault`](crate::fault)
+//! module for the full failure model and the deterministic
+//! fault-injection instrument that proves the isolation guarantee.
+//!
 //! # Examples
 //!
 //! ```
@@ -42,8 +53,10 @@
 //! assert_eq!(groups[0].runs, 2);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use ntc_core::{AllocationPolicy, Coat, CoatOpt, Epact, Error, LoadBalance};
@@ -55,6 +68,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::backend::BackendSpec;
 use crate::cache::{CacheStats, ForecastCache, PlanCache, RunCaches};
+use crate::fault::{self, CellError, CellStage, FailureCause, FailurePolicy, FaultSpec};
 use crate::{MeanStd, WeekOutcome, WeekSim};
 
 /// One synthetic fleet of a sweep's fleet set (see
@@ -195,6 +209,9 @@ pub struct ExperimentSpec {
     pub max_servers: usize,
     /// Sweep-wide ablation switches.
     pub ablation: AblationFlags,
+    /// What the engine does with the remaining cells once one fails
+    /// (default: [`FailurePolicy::KeepGoing`]).
+    pub failure_policy: FailurePolicy,
 }
 
 impl ExperimentSpec {
@@ -217,6 +234,7 @@ impl ExperimentSpec {
             predictor: PredictorSpec::Oracle,
             max_servers: 600,
             ablation: AblationFlags::default(),
+            failure_policy: FailurePolicy::default(),
         }
     }
 
@@ -383,11 +401,21 @@ pub struct CellOutcome {
     pub wall: Duration,
 }
 
-/// A completed sweep, cells in spec order.
+/// A finished sweep — possibly partial: cells that completed in spec
+/// order, plus a [`CellError`] for every cell that panicked, reported
+/// a structured error, or was skipped by
+/// [`FailurePolicy::FailFast`]. A clean sweep has an empty
+/// [`failures`](SweepResult::failures) vector and behaves exactly as
+/// before.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// One outcome per cell, in [`ExperimentSpec::cells`] order.
+    /// One outcome per *completed* cell, in [`ExperimentSpec::cells`]
+    /// order. Failed cells are absent here and present in
+    /// [`failures`](SweepResult::failures) instead.
     pub cells: Vec<CellOutcome>,
+    /// Every cell that did not complete, in spec order, with the
+    /// pipeline stage and cause captured per cell.
+    pub failures: Vec<CellError>,
     /// End-to-end wall-clock including fleet generation.
     pub wall: Duration,
     /// Worker threads the engine used.
@@ -395,6 +423,29 @@ pub struct SweepResult {
 }
 
 impl SweepResult {
+    /// The cells that completed, in spec order — an alias for
+    /// [`cells`](SweepResult::cells) that reads well next to
+    /// [`failed`](SweepResult::failed).
+    pub fn succeeded(&self) -> &[CellOutcome] {
+        &self.cells
+    }
+
+    /// The cells that failed (or were skipped by fail-fast), in spec
+    /// order; empty for a clean sweep.
+    pub fn failed(&self) -> &[CellError] {
+        &self.failures
+    }
+
+    /// Whether every cell of the spec completed.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Cells the spec expanded to, completed or not.
+    pub fn total_cells(&self) -> usize {
+        self.cells.len() + self.failures.len()
+    }
+
     /// The week outcomes alone, in spec order — the payload determinism
     /// checks compare (per-cell wall-clock is scheduling noise).
     pub fn outcomes(&self) -> Vec<&WeekOutcome> {
@@ -416,7 +467,10 @@ impl SweepResult {
     /// one group with mean and sample standard deviation of its
     /// headline metrics across the fleets (seeds) that ran it. Groups
     /// appear in first spec-order occurrence, so a single-fleet sweep
-    /// degenerates to one group per cell with zero spread.
+    /// degenerates to one group per cell with zero spread. Failed
+    /// cells are simply absent, so a group's `runs` may be smaller
+    /// than the fleet set — the statistics stay NaN-free because
+    /// [`MeanStd::of`] handles short samples.
     pub fn seed_groups(&self) -> Vec<GroupOutcome> {
         // f64 axes are compared by bit pattern: all values of one group
         // originate from the same spec literal, so bits match exactly.
@@ -543,11 +597,13 @@ impl FleetCache {
 /// Cells are pulled off a shared atomic counter by `threads` scoped
 /// workers and written into their spec-order slots, so results are
 /// bit-identical however the cells are scheduled (including
-/// [`Engine::run_sequential`]).
+/// [`Engine::run_sequential`]). Each cell runs under `catch_unwind`;
+/// see [`SweepResult::failed`] and the [`fault`](crate::fault) module.
 #[derive(Debug, Clone)]
 pub struct Engine {
     threads: usize,
     caching: bool,
+    fault: Option<FaultSpec>,
 }
 
 impl Default for Engine {
@@ -566,6 +622,7 @@ impl Engine {
         Self {
             threads,
             caching: true,
+            fault: None,
         }
     }
 
@@ -576,7 +633,21 @@ impl Engine {
         Self {
             threads: threads.max(1),
             caching: true,
+            fault: None,
         }
+    }
+
+    /// Arms a deterministic [`FaultSpec`] for the next run — the
+    /// test/chaos instrument behind the engine's isolation guarantee.
+    /// The targeted cell fails at the targeted stage; every other cell
+    /// must (and, by test, does) stay bit-identical to a clean run.
+    /// Not part of [`ExperimentSpec`] on purpose: a fault is a
+    /// property of one engine invocation, never of the serialized
+    /// experiment.
+    #[must_use]
+    pub fn inject_fault(mut self, fault: FaultSpec) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Enables or disables cross-cell caching (default: on).
@@ -606,9 +677,13 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// Returns an error if the spec expands to no cells, any fleet is
-    /// empty or shorter than two weeks, `max_servers == 0`, or a
-    /// static-power scale is negative or non-finite.
+    /// Returns an error only for a sweep that cannot start at all: any
+    /// fleet is empty or shorter than two weeks, `max_servers == 0`, a
+    /// static-power scale is negative or non-finite, or the (valid)
+    /// spec expands to no cells. *Per-cell* failures — panics or
+    /// errors inside a running cell — do not surface here: the sweep
+    /// completes under the spec's [`FailurePolicy`] and reports them
+    /// in [`SweepResult::failed`].
     pub fn run(&self, spec: &ExperimentSpec) -> Result<SweepResult, Error> {
         self.run_with_workers(spec, self.threads)
     }
@@ -629,11 +704,14 @@ impl Engine {
         threads: usize,
     ) -> Result<SweepResult, Error> {
         let started = Instant::now();
+        // Axis contents are validated before emptiness so an invalid
+        // *and* empty spec reports its actual root cause, not the
+        // secondary EmptySpec symptom.
+        spec.validate()?;
         let cells = spec.cells();
         if cells.is_empty() {
             return Err(Error::EmptySpec);
         }
-        spec.validate()?;
         let caches = SweepCaches {
             fleet: FleetCache::new(&spec.fleets),
             plans: self.caching.then(|| PlanCache::new(spec, &cells)),
@@ -643,29 +721,42 @@ impl Engine {
 
         let workers = threads.min(cells.len()).max(1);
         let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<CellOutcome>>> =
-            cells.iter().map(|_| Mutex::new(None)).collect();
+        let abort = AtomicBool::new(false);
+        // OnceLock slots are poison-free by construction: a worker
+        // panic can never turn into a second PoisonError panic at
+        // collection time, and every slot is written exactly once.
+        let slots: Vec<OnceLock<Result<CellOutcome, CellError>>> =
+            cells.iter().map(|_| OnceLock::new()).collect();
+        let run = RunControl {
+            fault: self.fault,
+            policy: spec.failure_policy,
+            abort: &abort,
+        };
 
         if workers == 1 {
-            drain_cells(&next, &cells, &slots, spec, &caches);
+            drain_cells(&next, &cells, &slots, spec, &caches, &run);
         } else {
             std::thread::scope(|scope| {
                 for _ in 0..workers {
-                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &caches));
+                    scope.spawn(|| drain_cells(&next, &cells, &slots, spec, &caches, &run));
                 }
             });
         }
 
-        let cells = slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("worker panics propagate out of the scope")
-                    .expect("every index below cells.len() was claimed")
-            })
-            .collect();
+        let mut done = Vec::new();
+        let mut failures = Vec::new();
+        for slot in slots {
+            match slot
+                .into_inner()
+                .expect("every index below cells.len() was claimed")
+            {
+                Ok(outcome) => done.push(outcome),
+                Err(failure) => failures.push(failure),
+            }
+        }
         Ok(SweepResult {
-            cells,
+            cells: done,
+            failures,
             wall: started.elapsed(),
             threads: workers,
         })
@@ -682,20 +773,81 @@ struct SweepCaches {
     forecasts: Option<ForecastCache>,
 }
 
+/// The per-run failure machinery shared by every worker: the armed
+/// fault (if any), the spec's failure policy and the fail-fast abort
+/// flag.
+#[derive(Debug)]
+struct RunControl<'a> {
+    fault: Option<FaultSpec>,
+    policy: FailurePolicy,
+    abort: &'a AtomicBool,
+}
+
 /// Worker body: claim cell indices off the shared counter until none
-/// remain, writing each outcome into its spec-order slot.
+/// remain, writing each cell's `Result` into its spec-order slot.
+///
+/// Each cell runs under `catch_unwind`: a panic becomes a
+/// [`CellError`] attributed to the stage the worker's thread-local
+/// tracker last entered (the whole cell runs on this thread, so the
+/// tracker is exact). Under [`FailurePolicy::FailFast`] any failure
+/// raises the shared abort flag and unstarted cells are recorded as
+/// [`FailureCause::Skipped`]; cells already running on other workers
+/// finish normally.
 fn drain_cells(
     next: &AtomicUsize,
     cells: &[CellSpec],
-    slots: &[Mutex<Option<CellOutcome>>],
+    slots: &[OnceLock<Result<CellOutcome, CellError>>],
     spec: &ExperimentSpec,
     caches: &SweepCaches,
+    run: &RunControl<'_>,
 ) {
     loop {
         let i = next.fetch_add(1, Ordering::Relaxed);
         let Some(cell) = cells.get(i) else { break };
-        let outcome = run_cell(spec, caches, i, cell);
-        *slots[i].lock().expect("no panics while holding the slot") = Some(outcome);
+        let result = if run.abort.load(Ordering::Relaxed) {
+            Err(CellError::new(
+                i,
+                *cell,
+                cell.label(spec.ablation),
+                FailureCause::Skipped,
+            ))
+        } else {
+            fault::arm(run.fault.as_ref(), i);
+            let caught = catch_unwind(AssertUnwindSafe(|| run_cell(spec, caches, i, cell)));
+            fault::disarm();
+            match caught {
+                // The inner error is boxed only to keep the hot
+                // Result small; unbox for the public slot type.
+                Ok(result) => result.map_err(|boxed| *boxed),
+                Err(payload) => Err(CellError::new(
+                    i,
+                    *cell,
+                    cell.label(spec.ablation),
+                    FailureCause::Panic {
+                        stage: fault::current_stage(),
+                        payload: panic_message(payload),
+                    },
+                )),
+            }
+        };
+        if result.is_err() && run.policy == FailurePolicy::FailFast {
+            run.abort.store(true, Ordering::Relaxed);
+        }
+        slots[i]
+            .set(result)
+            .expect("each cell index is claimed exactly once");
+    }
+}
+
+/// Renders a caught panic payload; `panic!` carries `&str` or `String`
+/// in practice, anything else gets a placeholder.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -704,23 +856,49 @@ fn drain_cells(
 /// predictor, run the week with this cell's plan group and forecast
 /// locks attached. Pure in (spec, cell) — every cache initializer is a
 /// deterministic function of the spec, so the determinism guarantee
-/// still rests here whichever worker wins a lock race.
+/// still rests here whichever worker wins a lock race. (A panicking
+/// initializer leaves its `OnceLock` unset, so a faulted cell cannot
+/// corrupt a shared cache either — siblings recompute the same value.)
+///
+/// Fallible construction — the backend and the simulator builder —
+/// reports a structured [`CellError`] attributed to its stage instead
+/// of panicking; everything past setup is caught by the
+/// `catch_unwind` wrapper in [`drain_cells`]. The error is boxed so
+/// the per-cell `Result` stays pointer-sized on the failure side.
 fn run_cell(
     spec: &ExperimentSpec,
     caches: &SweepCaches,
     index: usize,
     cell: &CellSpec,
-) -> CellOutcome {
+) -> Result<CellOutcome, Box<CellError>> {
     let started = Instant::now();
+    let fail = |stage: CellStage, error: Error| {
+        Box::new(CellError::new(
+            index,
+            *cell,
+            cell.label(spec.ablation),
+            FailureCause::Error { stage, error },
+        ))
+    };
+    fault::enter(CellStage::Fleet);
+    if let Some(error) = fault::injected_error(CellStage::Fleet, index) {
+        return Err(fail(CellStage::Fleet, error));
+    }
     let fleet = caches.fleet.get(&cell.fleet);
-    let mut builder = WeekSim::builder(&fleet, cell.server_model(), spec.max_servers)
-        .backend(cell.backend.build(cell.server));
+    fault::enter(CellStage::Setup);
+    if let Some(error) = fault::injected_error(CellStage::Setup, index) {
+        return Err(fail(CellStage::Setup, error));
+    }
+    let backend = cell
+        .backend
+        .try_build(cell.server)
+        .map_err(|e| fail(CellStage::Setup, e))?;
+    let mut builder =
+        WeekSim::builder(&fleet, cell.server_model(), spec.max_servers).backend(backend);
     if let Some(mhz) = cell.qos_floor_mhz {
         builder = builder.qos_floor(Frequency::from_mhz(mhz));
     }
-    let sim = builder
-        .build()
-        .expect("fleets and budget validated before fan-out");
+    let sim = builder.build().map_err(|e| fail(CellStage::Setup, e))?;
     let policy = cell.policy.build(spec.ablation);
     let per_day = fleet.grid().samples_per_day();
     let run_caches = RunCaches {
@@ -740,12 +918,12 @@ fn run_cell(
             &run_caches,
         ),
     };
-    CellOutcome {
+    Ok(CellOutcome {
         cell: *cell,
         outcome,
         cache,
         wall: started.elapsed(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -818,6 +996,74 @@ mod tests {
         spec.fleets[0].num_vms = 0;
         let err = Engine::with_threads(2).run(&spec).unwrap_err();
         assert!(matches!(err, Error::NoVms));
+    }
+
+    #[test]
+    fn invalid_and_empty_spec_reports_the_validation_error() {
+        // Pins the ordering fix: validation runs before the emptiness
+        // check, so a spec that is invalid AND expands to no cells
+        // names its real root cause instead of EmptySpec.
+        let mut spec = tiny_spec();
+        spec.policies.clear();
+        spec.fleets[0].num_vms = 0;
+        let err = Engine::with_threads(2).run(&spec).unwrap_err();
+        assert!(matches!(err, Error::NoVms), "got {err:?}");
+    }
+
+    #[test]
+    fn faulted_cell_becomes_a_failure_not_a_crash() {
+        let spec = tiny_spec();
+        let sweep = Engine::with_threads(2)
+            .inject_fault(FaultSpec::panic_at(1, CellStage::Account))
+            .run(&spec)
+            .unwrap();
+        assert_eq!(sweep.total_cells(), 3);
+        assert!(!sweep.is_complete());
+        assert_eq!(sweep.succeeded().len(), 2);
+        let failure = &sweep.failed()[0];
+        assert_eq!(failure.index, 1);
+        assert_eq!(failure.label, "COAT/NTC");
+        assert_eq!(failure.stage(), Some(CellStage::Account));
+        assert_eq!(failure.kind_label(), "panic");
+        assert!(failure.message().contains("injected fault"));
+    }
+
+    #[test]
+    fn error_fault_reports_the_setup_stage() {
+        let spec = tiny_spec();
+        let sweep = Engine::with_threads(1)
+            .inject_fault(FaultSpec::error_at(0))
+            .run(&spec)
+            .unwrap();
+        assert_eq!(sweep.succeeded().len(), 2);
+        let failure = &sweep.failed()[0];
+        assert_eq!(failure.index, 0);
+        assert_eq!(failure.stage(), Some(CellStage::Setup));
+        assert_eq!(failure.kind_label(), "error");
+        assert!(matches!(
+            failure.cause,
+            crate::fault::FailureCause::Error {
+                error: Error::FaultInjected { cell: 0 },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fail_fast_skips_unstarted_cells() {
+        let mut spec = tiny_spec();
+        spec.failure_policy = FailurePolicy::FailFast;
+        // One worker makes the claim order deterministic: cell 0
+        // completes, cell 1 faults, cell 2 is skipped.
+        let sweep = Engine::with_threads(1)
+            .inject_fault(FaultSpec::panic_at(1, CellStage::Plan))
+            .run(&spec)
+            .unwrap();
+        assert_eq!(sweep.succeeded().len(), 1);
+        assert_eq!(sweep.failed().len(), 2);
+        assert_eq!(sweep.failed()[0].stage(), Some(CellStage::Plan));
+        assert_eq!(sweep.failed()[1].stage(), None);
+        assert_eq!(sweep.failed()[1].kind_label(), "skipped");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use crate::backend::{ArchsimBackend, BackendSpec};
 use crate::engine::{
     AblationFlags, Engine, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
 };
+use crate::fault::FailurePolicy;
 use crate::{WeekOutcome, WeekSim};
 
 /// One row of Table I: a workload class's execution times across the
@@ -211,6 +212,7 @@ pub fn fig7(fleet: FleetSpec, max_servers: usize, static_watts: &[f64]) -> Vec<F
         predictor: PredictorSpec::Oracle,
         max_servers,
         ablation: AblationFlags::default(),
+        failure_policy: FailurePolicy::default(),
     };
     let sweep = Engine::new().run(&spec).expect("fig7 spec must be valid");
     // Cells in spec order: scales outermost, [EPACT, COAT] per scale.

@@ -153,11 +153,13 @@ fn week_value(outcome: &WeekOutcome) -> Value {
     ])
 }
 
-/// Renders a completed sweep as JSON: a `cells` array carrying each
-/// cell's full identity (fleet, static-power scale, policy, server, QoS
-/// floor, accounting backend) with its headline metrics, and a `groups`
-/// array with the seed-averaged mean±std rows from
-/// [`SweepResult::seed_groups`].
+/// Renders a (possibly partial) sweep as JSON: a `cells` array
+/// carrying each completed cell's full identity (fleet, static-power
+/// scale, policy, server, QoS floor, accounting backend) with its
+/// headline metrics, a `groups` array with the seed-averaged mean±std
+/// rows from [`SweepResult::seed_groups`], and a `failures` array with
+/// one entry per failed or skipped cell (index, label, seed, pipeline
+/// stage, failure kind and message) — empty for a clean sweep.
 pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
     let cells = sweep
         .cells
@@ -236,9 +238,35 @@ pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
             ])
         })
         .collect();
+    let failures = sweep
+        .failed()
+        .iter()
+        .map(|f| {
+            Value::Object(vec![
+                ("index".into(), Value::Number(f.index as f64)),
+                ("label".into(), Value::String(f.label.clone())),
+                ("seed".into(), Value::Number(f.cell.fleet.seed as f64)),
+                (
+                    "stage".into(),
+                    f.stage()
+                        .map_or(Value::Null, |s| Value::String(s.label().into())),
+                ),
+                ("kind".into(), Value::String(f.kind_label().into())),
+                ("message".into(), Value::String(f.message())),
+            ])
+        })
+        .collect();
     let totals = sweep.cache_totals();
     Value::Object(vec![
         ("threads".into(), Value::Number(sweep.threads as f64)),
+        (
+            "cells_total".into(),
+            Value::Number(sweep.total_cells() as f64),
+        ),
+        (
+            "cells_failed".into(),
+            Value::Number(sweep.failed().len() as f64),
+        ),
         (
             "plan_cache_hits".into(),
             Value::Number(totals.plan_hits as f64),
@@ -257,6 +285,7 @@ pub fn sweep_json(sweep: &SweepResult, ablation: AblationFlags) -> String {
         ),
         ("cells".into(), Value::Array(cells)),
         ("groups".into(), Value::Array(groups)),
+        ("failures".into(), Value::Array(failures)),
     ])
     .render()
 }
@@ -322,6 +351,39 @@ mod tests {
         assert_eq!(field("total_violations").as_f64("v").unwrap(), 3.0);
         assert_eq!(field("energy_mj").as_array("e").unwrap().len(), 3);
         assert_eq!(field("violations").as_array("v").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sweep_json_reports_failures() {
+        use crate::{CellStage, Engine, ExperimentSpec, FaultSpec, PolicySpec, ServerSpec};
+        let mut spec = ExperimentSpec::default_sweep();
+        spec.fleets[0].num_vms = 8;
+        spec.policies = vec![PolicySpec::Epact, PolicySpec::Coat];
+        spec.servers = vec![ServerSpec::Ntc];
+        spec.max_servers = 80;
+        let sweep = Engine::with_threads(2)
+            .inject_fault(FaultSpec::panic_at(1, CellStage::Plan))
+            .run(&spec)
+            .unwrap();
+        let json = sweep_json(&sweep, spec.ablation);
+        let value = parse_value(&json).expect("emitted JSON must parse");
+        let obj = value.as_object("root").unwrap();
+        let field = |name: &str| &obj.iter().find(|(k, _)| k == name).unwrap().1;
+        assert_eq!(field("cells_total").as_f64("t").unwrap(), 2.0);
+        assert_eq!(field("cells_failed").as_f64("f").unwrap(), 1.0);
+        assert_eq!(field("cells").as_array("cells").unwrap().len(), 1);
+        let failures = field("failures").as_array("failures").unwrap();
+        assert_eq!(failures.len(), 1);
+        let failure = failures[0].as_object("failure").unwrap();
+        let ffield = |name: &str| &failure.iter().find(|(k, _)| k == name).unwrap().1;
+        assert_eq!(ffield("index").as_f64("index").unwrap(), 1.0);
+        assert_eq!(ffield("label").as_string("label").unwrap(), "COAT/NTC");
+        assert_eq!(ffield("stage").as_string("stage").unwrap(), "plan");
+        assert_eq!(ffield("kind").as_string("kind").unwrap(), "panic");
+        assert!(ffield("message")
+            .as_string("message")
+            .unwrap()
+            .contains("injected"));
     }
 
     #[test]

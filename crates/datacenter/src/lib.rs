@@ -23,6 +23,32 @@
 //! let outcome = sim.run_with_oracle(&Epact::new());
 //! assert_eq!(outcome.slots.len(), 168);
 //! ```
+//!
+//! # Failure model
+//!
+//! Sweeps over many cells are fault-isolated: a panicking or erroring
+//! cell becomes a structured [`CellError`] (index, label, pipeline
+//! stage, cause) in [`SweepResult::failed`], while every other cell's
+//! result stays bit-identical to a clean run. The spec's
+//! [`FailurePolicy`] chooses between finishing the remaining cells
+//! (the default) and aborting them (`FailFast`; `ntcdc sweep
+//! --fail-fast` on the CLI). The [`fault`] module documents the model
+//! and the deterministic fault-injection instrument
+//! ([`Engine::inject_fault`]) that proves the isolation guarantee:
+//!
+//! ```
+//! use ntc_datacenter::{Engine, ExperimentSpec, FaultSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep();
+//! spec.fleets[0].num_vms = 16; // keep the doctest fast
+//! spec.max_servers = 200;
+//! let sweep = Engine::new()
+//!     .inject_fault(FaultSpec::error_at(0)) // fault the first cell
+//!     .run(&spec)
+//!     .unwrap();
+//! assert_eq!(sweep.succeeded().len(), 5);
+//! assert_eq!(sweep.failed()[0].index, 0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,6 +58,7 @@ mod cache;
 mod engine;
 pub mod experiments;
 pub mod export;
+pub mod fault;
 mod outcome;
 pub mod spec_json;
 mod weeksim;
@@ -44,5 +71,6 @@ pub use engine::{
     AblationFlags, CellOutcome, CellSpec, Engine, ExperimentSpec, FleetSpec, GroupOutcome,
     PolicySpec, PredictorSpec, ServerSpec, SweepResult,
 };
+pub use fault::{CellError, CellStage, FailureCause, FailurePolicy, FaultKind, FaultSpec};
 pub use outcome::{MeanStd, SlotOutcome, WeekOutcome};
 pub use weeksim::{WeekSim, WeekSimBuilder};

@@ -17,6 +17,7 @@ use crate::backend::BackendSpec;
 use crate::engine::{
     AblationFlags, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
 };
+use crate::fault::FailurePolicy;
 
 /// Renders `spec` as pretty-printed JSON.
 pub fn to_json(spec: &ExperimentSpec) -> String {
@@ -65,6 +66,10 @@ pub fn to_json(spec: &ExperimentSpec) -> String {
         (
             "correlation_only".into(),
             Value::Bool(spec.ablation.correlation_only),
+        ),
+        (
+            "failure_policy".into(),
+            Value::String(spec.failure_policy.label().to_string()),
         ),
     ])
     .render()
@@ -122,6 +127,9 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
         predictor: PredictorSpec::Oracle,
         max_servers: 0,
         ablation: AblationFlags::default(),
+        // Legacy specs predate the failure model: keep going, as the
+        // old engine effectively promised for clean sweeps.
+        failure_policy: FailurePolicy::default(),
     };
     let mut seen_fleet = false;
     let mut seen_fleets = false;
@@ -177,6 +185,9 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
             "correlation_only" => {
                 spec.ablation.correlation_only = val.as_bool("correlation_only")?
             }
+            "failure_policy" => {
+                spec.failure_policy = parse_failure_policy(val.as_string("failure_policy")?)?
+            }
             other => return Err(format!("unknown field {other}")),
         }
     }
@@ -201,6 +212,16 @@ pub fn from_json(text: &str) -> Result<ExperimentSpec, String> {
 
 fn parse_backend(tag: &str) -> Result<BackendSpec, String> {
     tag.parse()
+}
+
+fn parse_failure_policy(tag: &str) -> Result<FailurePolicy, String> {
+    match tag {
+        "keep_going" => Ok(FailurePolicy::KeepGoing),
+        "fail_fast" => Ok(FailurePolicy::FailFast),
+        other => Err(format!(
+            "unknown failure policy {other:?} (expected keep_going or fail_fast)"
+        )),
+    }
 }
 
 pub(crate) fn policy_tag(p: PolicySpec) -> &'static str {
@@ -667,6 +688,29 @@ mod tests {
         assert_eq!(from_json(&text).unwrap(), spec);
         spec.backends = vec![BackendSpec::Archsim];
         assert_eq!(from_json(&to_json(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn round_trips_the_failure_policy() {
+        let mut spec = ExperimentSpec::default_sweep();
+        spec.failure_policy = FailurePolicy::FailFast;
+        let text = to_json(&spec);
+        assert!(text.contains("\"failure_policy\": \"fail_fast\""), "{text}");
+        assert_eq!(from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn missing_failure_policy_defaults_to_keep_going() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}}"#;
+        let spec = from_json(text).unwrap();
+        assert_eq!(spec.failure_policy, FailurePolicy::KeepGoing);
+    }
+
+    #[test]
+    fn rejects_unknown_failure_policy() {
+        let text = r#"{"fleet": {"num_vms": 4, "seed": 1}, "failure_policy": "retry"}"#;
+        let err = from_json(text).unwrap_err();
+        assert!(err.contains("retry"), "{err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@ use ntc_workload::{Fleet, MemClass};
 
 use crate::backend::{mem_class_rank, AnalyticBackend, GovernedSlot, SlotBackend};
 use crate::cache::{CacheStats, DayForecast, RunCaches};
+use crate::fault::{self, CellStage};
 use crate::{SlotOutcome, WeekOutcome};
 
 /// Drives an allocation policy over the evaluation week through the
@@ -304,6 +305,7 @@ impl<'a> WeekSim<'a> {
 
             // Stage 1+2 — forecast & plan, refreshed at period starts.
             if slot % period == 0 {
+                fault::enter(CellStage::Plan);
                 // Shared-plan fast path first: a hit skips forecasting,
                 // moment building and packing for the whole period.
                 let new_plan: Arc<SlotPlan> = match caches.plans.and_then(|g| g.slot(slot)) {
@@ -373,6 +375,7 @@ impl<'a> WeekSim<'a> {
 
             // Stage 3 — govern: settle every active server-sample's
             // operating point in server-major, sample-minor order.
+            fault::enter(CellStage::Govern);
             governed.reset(grid.sample_period(), sps);
             for (srv, active) in occupancy.iter().enumerate() {
                 if !active {
@@ -391,6 +394,7 @@ impl<'a> WeekSim<'a> {
             }
 
             // Stage 4 — account: the backend prices the governed slot.
+            fault::enter(CellStage::Account);
             let accounts = self.backend.account(&self.server, &governed);
 
             outcomes.push(SlotOutcome {
@@ -443,11 +447,14 @@ impl<'a> WeekSim<'a> {
         // new forecast invalidates the moment caches built from it.
         if let Some(p) = predictor {
             if DayState::refresh(&mut state.forecast, &mut state.forecast_day, day, || {
+                fault::enter(CellStage::Forecast);
                 self.day_forecast(p, day, caches, stats)
             }) {
                 state.moments = None;
                 state.moments_day = None;
             }
+            // Back in the plan stage once the day's forecast stands.
+            fault::enter(CellStage::Plan);
         }
 
         // Day-level moment caches: one prefix-sum build per day serves

@@ -95,10 +95,53 @@
 //! );
 //! ```
 //!
+//! # Failure model: one bad cell cannot sink the sweep
+//!
+//! Every cell runs isolated behind a panic boundary. A cell that
+//! panics or reports an error becomes a structured
+//! [`CellError`](datacenter::CellError) — carrying the cell's index,
+//! label, full [`CellSpec`](datacenter::CellSpec), the pipeline stage
+//! that failed, and the panic payload or
+//! [`Error`](policy::Error) — while every other cell completes
+//! bit-identically to a clean run. The
+//! [`succeeded`](datacenter::SweepResult::succeeded) and
+//! [`failed`](datacenter::SweepResult::failed) accessors partition
+//! the [`SweepResult`](datacenter::SweepResult); setting
+//! [`ExperimentSpec::failure_policy`](datacenter::ExperimentSpec) to
+//! [`FailurePolicy::FailFast`](datacenter::FailurePolicy) (the CLI's
+//! `ntcdc sweep --fail-fast`) aborts the not-yet-started cells after
+//! the first failure instead, reporting them as skipped. The
+//! test-only [`FaultSpec`](datacenter::FaultSpec) axis injects a
+//! panic or error into one cell of one run to prove the isolation:
+//!
+//! ```
+//! use ntc_dc::datacenter::{CellStage, Engine, ExperimentSpec, FaultSpec};
+//!
+//! let mut spec = ExperimentSpec::default_sweep();
+//! spec.fleets[0].num_vms = 16; // doctest-sized
+//! spec.max_servers = 200;
+//! let sweep = Engine::new()
+//!     .inject_fault(FaultSpec::error_at(0)) // cell 0 fails in setup
+//!     .run(&spec)
+//!     .unwrap();
+//! assert_eq!(sweep.succeeded().len(), 5); // the other 5 cells are intact
+//! let failed = &sweep.failed()[0];
+//! assert_eq!(failed.index, 0);
+//! assert_eq!(failed.stage(), Some(CellStage::Setup));
+//! println!("{failed}"); // "cell 0 (EPACT/NTC) failed in setup: ..."
+//! ```
+//!
+//! Failed cells surface everywhere downstream: the sweep JSON export
+//! carries a `failures` array with `cells_total`/`cells_failed`
+//! counts, `ntcdc sweep` prints a per-cell failure table and exits
+//! non-zero, and [`seed_groups`](datacenter::SweepResult::seed_groups)
+//! averages over the surviving seeds only, NaN-free.
+//!
 //! Specs serialize to JSON via
 //! [`datacenter::spec_json`] — the same file format `ntcdc sweep
 //! --spec` reads (legacy specs without a `backends` array default to
-//! analytic accounting).
+//! analytic accounting; the `failure_policy` field round-trips as
+//! `"keep_going"`/`"fail_fast"` and defaults to keep-going).
 //!
 //! The engine memoizes planning work across cells: fleets are generated
 //! once per seed, day-ahead forecasts are shared by every cell of a

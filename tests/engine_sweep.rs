@@ -2,7 +2,10 @@
 //! bit-identical however it is scheduled, and reproduce the paper's
 //! headline ordering (EPACT saves energy over COAT on NTC servers).
 
-use ntc_dc::datacenter::{BackendSpec, Engine, ExperimentSpec, PolicySpec, ServerSpec};
+use ntc_dc::datacenter::{
+    BackendSpec, CellStage, Engine, ExperimentSpec, FailurePolicy, FaultSpec, PolicySpec,
+    ServerSpec,
+};
 
 fn small_sweep() -> ExperimentSpec {
     let mut spec = ExperimentSpec::default_sweep();
@@ -180,6 +183,145 @@ fn cross_backend_sweep_shares_plans_and_groups_per_backend() {
         (336, 336),
         "cross-backend arms must share plan groups"
     );
+}
+
+/// The fault-injection acceptance shape: a 2-seed x 2-policy sweep so
+/// one faulted cell leaves three healthy neighbours across both axes.
+/// Cell order (fleet outermost, policy innermost): 0 = seed 21 EPACT,
+/// 1 = seed 21 COAT, 2 = seed 22 EPACT, 3 = seed 22 COAT.
+fn fault_sweep() -> ExperimentSpec {
+    let mut spec = ExperimentSpec::default_sweep().with_seeds(&[21, 22]);
+    spec.fleets.iter_mut().for_each(|f| f.num_vms = 12);
+    spec.servers = vec![ServerSpec::Ntc];
+    spec.policies = vec![PolicySpec::Epact, PolicySpec::Coat];
+    spec.max_servers = 150;
+    spec
+}
+
+#[test]
+fn fault_injection_keep_going_isolates_healthy_cells() {
+    // One cell panicking mid-plan must not perturb a single bit of any
+    // other cell: the survivors of the faulted parallel sweep must be
+    // bit-identical to a clean single-threaded sequential run.
+    let spec = fault_sweep();
+    let clean = Engine::with_threads(1)
+        .run_sequential(&spec)
+        .expect("clean run");
+    assert_eq!(clean.cells.len(), 4);
+    assert!(clean.is_complete());
+
+    let faulted = Engine::new()
+        .inject_fault(FaultSpec::panic_at(1, CellStage::Plan))
+        .run(&spec)
+        .expect("a faulted cell must not abort the sweep");
+    assert_eq!(faulted.total_cells(), 4);
+    assert_eq!(faulted.succeeded().len(), 3);
+    assert_eq!(faulted.failed().len(), 1);
+    assert!(!faulted.is_complete());
+
+    // The failed cell is reported with its identity, stage, and cause.
+    let failure = &faulted.failed()[0];
+    assert_eq!(failure.index, 1);
+    assert_eq!(failure.label, clean.cells[1].cell.label(spec.ablation));
+    assert_eq!(failure.cell.fleet.seed, 21);
+    assert_eq!(failure.stage(), Some(CellStage::Plan));
+    assert_eq!(failure.kind_label(), "panic");
+    assert!(
+        failure.message().contains("injected fault"),
+        "panic payload must survive capture: {}",
+        failure.message()
+    );
+
+    // Survivors are the clean cells 0, 2, 3 — compare bit for bit, both
+    // through WeekOutcome's full PartialEq and through the raw energy
+    // bit patterns.
+    for (survivor, clean_idx) in faulted.succeeded().iter().zip([0usize, 2, 3]) {
+        let reference = &clean.cells[clean_idx];
+        assert_eq!(survivor.cell, reference.cell);
+        assert_eq!(survivor.outcome, reference.outcome);
+        assert_eq!(
+            survivor.outcome.total_energy().as_joules().to_bits(),
+            reference.outcome.total_energy().as_joules().to_bits(),
+            "energy drifted in cell {clean_idx} next to a faulted sibling"
+        );
+    }
+
+    // Seed aggregation skips the failed cell without poisoning the
+    // statistics: EPACT still averages both seeds, COAT drops to one
+    // run, and nothing goes NaN.
+    let groups = faulted.seed_groups();
+    assert_eq!(groups.len(), 2);
+    let epact = &groups[0];
+    let coat = &groups[1];
+    assert_eq!((epact.policy, epact.runs), (PolicySpec::Epact, 2));
+    assert_eq!((coat.policy, coat.runs), (PolicySpec::Coat, 1));
+    for group in &groups {
+        for stat in [
+            group.energy_mj,
+            group.violations,
+            group.migrations,
+            group.mean_active_servers,
+        ] {
+            assert!(stat.mean.is_finite(), "{:?}: NaN mean", group.policy);
+            assert!(stat.std.is_finite(), "{:?}: NaN std", group.policy);
+        }
+    }
+    // The intact group matches the clean run exactly.
+    assert_eq!(*epact, clean.seed_groups()[0]);
+}
+
+#[test]
+fn fault_injection_fail_fast_aborts_remaining_cells() {
+    // Same sweep under FailFast on one thread, so the claim order is
+    // the spec order: cell 0 completes, cell 1 panics, cells 2 and 3
+    // are reported as skipped instead of running.
+    let mut spec = fault_sweep();
+    spec.failure_policy = FailurePolicy::FailFast;
+    let clean = Engine::with_threads(1)
+        .run_sequential(&fault_sweep())
+        .expect("clean run");
+
+    let faulted = Engine::with_threads(1)
+        .inject_fault(FaultSpec::panic_at(1, CellStage::Plan))
+        .run(&spec)
+        .expect("fail-fast still returns the partial result");
+    assert_eq!(faulted.total_cells(), 4);
+    assert_eq!(faulted.succeeded().len(), 1);
+    assert_eq!(faulted.failed().len(), 3);
+
+    // The completed cell is untouched by the abort.
+    assert_eq!(faulted.succeeded()[0].outcome, clean.cells[0].outcome);
+
+    // Cell 1 carries the panic; the unstarted cells are skipped with no
+    // stage (they never entered the pipeline).
+    let failures = faulted.failed();
+    assert_eq!(failures[0].index, 1);
+    assert_eq!(failures[0].stage(), Some(CellStage::Plan));
+    assert_eq!(failures[0].kind_label(), "panic");
+    for (failure, index) in failures[1..].iter().zip([2usize, 3]) {
+        assert_eq!(failure.index, index);
+        assert_eq!(failure.stage(), None);
+        assert_eq!(failure.kind_label(), "skipped");
+        assert!(failure.message().contains("fail-fast"));
+    }
+}
+
+#[test]
+fn fault_injection_error_kind_reports_structured_error() {
+    // An error-kind fault exercises the non-panic failure path end to
+    // end: the cell fails in the setup stage with a structured
+    // ntc_core::Error instead of a payload string.
+    let spec = fault_sweep();
+    let faulted = Engine::new()
+        .inject_fault(FaultSpec::error_at(2))
+        .run(&spec)
+        .expect("sweep");
+    assert_eq!(faulted.succeeded().len(), 3);
+    let failure = &faulted.failed()[0];
+    assert_eq!(failure.index, 2);
+    assert_eq!(failure.stage(), Some(CellStage::Setup));
+    assert_eq!(failure.kind_label(), "error");
+    assert!(failure.message().contains("injected fault in cell 2"));
 }
 
 #[test]

@@ -3,7 +3,8 @@
 //! round trip over randomized experiment specs.
 
 use ntc_dc::datacenter::{
-    spec_json, BackendSpec, ExperimentSpec, FleetSpec, PolicySpec, PredictorSpec, ServerSpec,
+    spec_json, BackendSpec, ExperimentSpec, FailurePolicy, FleetSpec, PolicySpec, PredictorSpec,
+    ServerSpec,
 };
 use ntc_dc::policy::{AllocationPolicy, Coat, CoatOpt, Epact, SlotContext};
 use ntc_dc::power::ServerPowerModel;
@@ -13,7 +14,7 @@ use proptest::prelude::*;
 
 /// A strategy over arbitrary multi-axis experiment specs: random fleet
 /// sets (sizes, seeds, horizons), static-power scales, QoS floors,
-/// accounting-backend sets and axis subsets.
+/// accounting-backend sets, failure policies and axis subsets.
 fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
     let fleets = prop::collection::vec(
         (1usize..200, 0u64..10_000, 2usize..5).prop_map(|(num_vms, seed, weeks)| FleetSpec {
@@ -36,7 +37,7 @@ fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
     });
     (
         (fleets, scales, floors, backends),
-        (0usize..4, 1usize..1000, 0usize..2),
+        (0usize..4, 1usize..1000, 0usize..4),
     )
         .prop_map(
             |(
@@ -50,7 +51,12 @@ fn arb_spec() -> impl Strategy<Value = ExperimentSpec> {
                 spec.qos_floors_mhz = qos_floors_mhz;
                 spec.backends = backends;
                 spec.max_servers = max_servers;
-                spec.ablation.correlation_only = corr == 1;
+                spec.ablation.correlation_only = corr & 1 == 1;
+                spec.failure_policy = if corr & 2 == 2 {
+                    FailurePolicy::FailFast
+                } else {
+                    FailurePolicy::KeepGoing
+                };
                 if knobs % 2 == 1 {
                     spec.policies.push(PolicySpec::LoadBalance);
                     spec.servers = vec![ServerSpec::Ntc];
